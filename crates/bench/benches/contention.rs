@@ -1,0 +1,24 @@
+//! Criterion bench for the link-contention extension: discrete-event
+//! simulation cost across requester counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl0_fabric::{run_contention, AccessPath, LatencyConfig};
+use cxl0_protocol::CxlOp;
+
+fn contention(c: &mut Criterion) {
+    let cfg = LatencyConfig::testbed();
+    let mut group = c.benchmark_group("contention_sim");
+    for k in [1usize, 8, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| run_contention(&cfg, CxlOp::Read, AccessPath::HostToHdm, k, 200))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = contention
+}
+criterion_main!(benches);

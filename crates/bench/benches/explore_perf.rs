@@ -1,0 +1,37 @@
+//! Criterion bench: explorer performance — litmus suite evaluation,
+//! reachable-state enumeration, and Proposition-1 checking (the model
+//! checker is itself a deliverable; its cost determines how large a
+//! configuration the analyses scale to).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cxl0_explore::litmus::run_suite;
+use cxl0_explore::{check_proposition1, explore, paper, AlphabetBuilder};
+use cxl0_model::{Semantics, SystemConfig, Val};
+
+fn litmus_suite(c: &mut Criterion) {
+    let tests = paper::all_tests();
+    c.bench_function("litmus_full_suite", |b| b.iter(|| run_suite(&tests)));
+}
+
+fn state_space(c: &mut Criterion) {
+    let cfg = SystemConfig::symmetric_nvm(2, 1);
+    let sem = Semantics::new(cfg.clone());
+    let alphabet = AlphabetBuilder::new(&cfg).build();
+    c.bench_function("explore_2m_1loc_full_alphabet", |b| {
+        b.iter(|| explore(&sem, &alphabet, 1_000_000))
+    });
+}
+
+fn prop1(c: &mut Criterion) {
+    let sem = Semantics::new(SystemConfig::symmetric_nvm(2, 1));
+    c.bench_function("proposition1_all_items", |b| {
+        b.iter(|| check_proposition1(&sem, &[Val(0), Val(1)], 1_000_000).unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = litmus_suite, state_space, prop1
+}
+criterion_main!(benches);

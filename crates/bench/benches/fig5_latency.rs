@@ -1,0 +1,38 @@
+//! Criterion bench for E5: the Figure-5 sweep — per-primitive simulated
+//! access over each path (benchmarks the simulator itself; the simulated
+//! nanoseconds are printed by `--bin fig5`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cxl0_fabric::{AccessPath, FabricSim, LatencyConfig};
+use cxl0_protocol::CxlOp;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_access");
+    for path in AccessPath::ALL {
+        for op in CxlOp::ALL {
+            let mut sim = FabricSim::new(LatencyConfig::testbed(), 7);
+            if sim.access(op, path).is_none() {
+                continue; // not measurable (??? in Table 1)
+            }
+            group.bench_with_input(
+                BenchmarkId::new(path.label().replace(' ', "_"), op.to_string()),
+                &op,
+                |b, &op| b.iter(|| sim.access(op, path)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn figure5_full_sweep(c: &mut Criterion) {
+    c.bench_function("fig5_full_sweep_1000", |b| {
+        b.iter(|| cxl0_fabric::run_figure5(&LatencyConfig::testbed(), 1000, 42))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = fig5, figure5_full_sweep
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Extension sweep: per-request latency of remote reads under link
+//! contention (beyond the paper's isolated single-requester numbers).
+//!
+//! Run: `cargo run -p cxl0-bench --bin contention --release`
+
+use cxl0_fabric::{contention_sweep, AccessPath, LatencyConfig};
+use cxl0_protocol::CxlOp;
+
+fn main() {
+    let cfg = LatencyConfig::testbed();
+    let counts = [1, 2, 4, 8, 16, 32, 64, 128];
+    for path in [AccessPath::HostToHdm, AccessPath::DeviceToHm] {
+        println!("\n{} — Read latency vs concurrent requesters", path.label());
+        println!("{:>11} {:>14} {:>14}", "requesters", "mean ns", "makespan ns");
+        for pt in contention_sweep(&cfg, CxlOp::Read, path, &counts, 500) {
+            println!(
+                "{:>11} {:>14.1} {:>14}",
+                pt.requesters, pt.mean_latency, pt.makespan
+            );
+        }
+    }
+    println!("\n(the knee marks where CXL link serialization saturates)");
+}

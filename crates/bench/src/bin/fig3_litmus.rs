@@ -1,0 +1,24 @@
+//! E1/E6 regenerator: prints the Figure-3 litmus table (tests 1–9) and
+//! the §6 motivating example (test 13) with computed vs. paper verdicts.
+//!
+//! Run: `cargo run -p cxl0-bench --bin fig3_litmus`
+
+use cxl0_explore::litmus::run_suite;
+use cxl0_explore::paper;
+use cxl0_model::ModelVariant;
+
+fn main() {
+    println!("Figure 3: Litmus tests for CXL0\n");
+    println!("{:<9} {:<8} {:<8}  trace", "test", "paper", "computed");
+    println!("{:-<9} {:-<8} {:-<8}  {:-<60}", "", "", "", "");
+    let mut tests = paper::figure3_tests();
+    tests.push(paper::motivating_example());
+    for t in &tests {
+        let expected = t.expected_for(ModelVariant::Base).unwrap();
+        let computed = t.run(ModelVariant::Base);
+        println!("{:<9} {:<8} {:<8}  {}", t.name, expected, computed, t.trace);
+    }
+    let report = run_suite(&tests);
+    println!("\n{report}");
+    std::process::exit(if report.all_pass() { 0 } else { 1 });
+}

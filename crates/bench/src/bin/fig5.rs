@@ -1,0 +1,41 @@
+//! E5 regenerator: prints Figure 5 (median latency of each CXL0
+//! primitive over the five access paths, 1000 samples each) and the key
+//! ratios the paper reports, with the paper's values alongside.
+//!
+//! Run: `cargo run -p cxl0-bench --bin fig5`
+
+use cxl0_fabric::{run_figure5, AccessPath, LatencyConfig};
+use cxl0_protocol::CxlOp;
+
+fn main() {
+    let fig = run_figure5(&LatencyConfig::testbed(), 1000, 42);
+    println!("{fig}");
+
+    let m = |p, o| fig.median(p, o).unwrap() as f64;
+    println!("shape checks (simulated vs paper):");
+    println!(
+        "  host remote/local Read      {:.2}x   (paper: 2.34x)",
+        m(AccessPath::HostToHdm, CxlOp::Read) / m(AccessPath::HostToHm, CxlOp::Read)
+    );
+    println!(
+        "  device remote/local Read    {:.2}x   (paper: 1.94x)",
+        m(AccessPath::DeviceToHm, CxlOp::Read) / m(AccessPath::DeviceToHdmDeviceBias, CxlOp::Read)
+    );
+    println!(
+        "  device→HM RStore/LStore     {:.2}x   (paper: 2.08x)",
+        m(AccessPath::DeviceToHm, CxlOp::RStore) / m(AccessPath::DeviceToHm, CxlOp::LStore)
+    );
+    println!(
+        "  device→HM MStore/RStore     {:.2}x   (paper: 1.45x)",
+        m(AccessPath::DeviceToHm, CxlOp::MStore) / m(AccessPath::DeviceToHm, CxlOp::RStore)
+    );
+    println!(
+        "  host→HDM vs device→HM Read  {:.2}x   (paper: ~1.07x, 'same latency')",
+        m(AccessPath::DeviceToHm, CxlOp::Read) / m(AccessPath::HostToHdm, CxlOp::Read)
+    );
+    println!(
+        "  RFlush/MStore (host→HM)     {:.2}x   (paper: ~1.0x)",
+        m(AccessPath::HostToHm, CxlOp::RFlush) / m(AccessPath::HostToHm, CxlOp::MStore)
+    );
+    println!("  not-measurable cells        {}      (paper: 7)", fig.not_measurable());
+}

@@ -1,0 +1,34 @@
+//! E4 regenerator: prints Table 1 from the protocol engine and diffs it
+//! against the paper's published cells.
+//!
+//! Run: `cargo run -p cxl0-bench --bin table1`
+
+use cxl0_protocol::{expected_paper_cells, generate_table1};
+
+fn main() {
+    let (table, analyzer) = generate_table1();
+    println!("{}", table.to_text());
+    println!(
+        "analyzer: {} operations observed, {} transactions on the link\n",
+        analyzer.observations().len(),
+        analyzer.total_transactions()
+    );
+
+    let expected = expected_paper_cells();
+    let mut mismatches = 0;
+    for (key, want) in &expected {
+        let got = &table.cells[key];
+        if got != want {
+            mismatches += 1;
+            println!(
+                "MISMATCH {key:?}: generated `{}` but the paper reports `{}`",
+                got.render(),
+                want.render()
+            );
+        }
+    }
+    if mismatches == 0 {
+        println!("all {} cells match the paper's Table 1", expected.len());
+    }
+    std::process::exit(if mismatches == 0 { 0 } else { 1 });
+}

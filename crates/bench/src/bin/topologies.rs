@@ -1,0 +1,34 @@
+//! E9 regenerator: prints the §4 capability matrix — which CXL0
+//! primitives each deployment topology grants to each machine role.
+//!
+//! Run: `cargo run -p cxl0-bench --bin topologies`
+
+use cxl0_model::{MachineId, Primitive, Topology};
+
+fn main() {
+    let topologies = [
+        Topology::host_device_pair(),
+        Topology::partitioned_pool(2),
+        Topology::shared_pool_coherent(2),
+        Topology::shared_pool_noncoherent(2),
+        Topology::unrestricted(2),
+    ];
+    print!("{:<26}", "topology / machine");
+    for p in Primitive::ISSUED {
+        print!(" {:>7}", p.to_string());
+    }
+    println!(" {:>7}", "PropC-C");
+    for t in &topologies {
+        for m in 0..t.num_machines() {
+            print!("{:<26}", format!("{} m{}", t.name(), m));
+            for p in Primitive::ISSUED {
+                print!(" {:>7}", if t.allows(MachineId(m), p) { "✓" } else { "—" });
+            }
+            println!(
+                " {:>7}",
+                if t.allows_prop_cc() { "✓" } else { "—" }
+            );
+        }
+    }
+    println!("\n(✓ = primitive available, — = excluded per §4; PropC-C = cache-to-cache propagation in the fabric)");
+}

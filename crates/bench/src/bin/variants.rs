@@ -1,0 +1,26 @@
+//! E2 regenerator: prints §3.5's tests 10–12 with their verdict triples
+//! (CXL0, CXL0_LWB, CXL0_PSN), computed vs. paper.
+//!
+//! Run: `cargo run -p cxl0-bench --bin variants`
+
+use cxl0_explore::litmus::run_suite;
+use cxl0_explore::paper;
+use cxl0_model::ModelVariant;
+
+fn main() {
+    println!("§3.5: model-variant comparison — verdicts as (CXL0, CXL0_LWB, CXL0_PSN)\n");
+    let order = [ModelVariant::Base, ModelVariant::Lwb, ModelVariant::Psn];
+    for t in paper::variant_tests() {
+        let paper_triple: Vec<String> = order
+            .iter()
+            .map(|&v| t.expected_for(v).unwrap().symbol().to_string())
+            .collect();
+        let computed: Vec<String> = order.iter().map(|&v| t.run(v).symbol().to_string()).collect();
+        println!("{}  paper ({})  computed ({})", t.name, paper_triple.join(","), computed.join(","));
+        println!("         {}", t.trace);
+        println!("         {}\n", t.description);
+    }
+    let report = run_suite(&paper::variant_tests());
+    println!("{report}");
+    std::process::exit(if report.all_pass() { 0 } else { 1 });
+}

@@ -1,0 +1,192 @@
+//! # `cxl0-bench` — experiment harnesses
+//!
+//! Shared plumbing for the per-table/per-figure regenerator binaries
+//! (`src/bin/*`) and the criterion benches (`benches/*`):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig3_litmus` | Figure 3 + test 13 verdict table |
+//! | `variants` | §3.5 tests 10–12 verdict triples |
+//! | `prop1` | Proposition 1 check report |
+//! | `table1` | Table 1 |
+//! | `fig5` | Figure 5 |
+//! | `refine` | §3.5 refinement claims + witnesses |
+//! | `topologies` | §4 capability matrix |
+//! | `flit_report` | §6.1 transformation-overhead comparison |
+//! | `contention` | link-contention extension sweep |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+
+use cxl0_model::{MachineId, SystemConfig};
+use cxl0_runtime::{
+    DurableMap, DurableQueue, FlitAsync, FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore,
+    NoPersistence, Persistence, SharedHeap, SimFabric, StatsSnapshot,
+};
+use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
+
+/// The machine hosting benchmark data structures.
+pub const MEM_NODE: MachineId = MachineId(2);
+
+/// All six persistence strategies, in report order.
+pub fn all_strategies() -> Vec<Arc<dyn Persistence>> {
+    vec![
+        Arc::new(NoPersistence),
+        Arc::new(FlitX86::default()),
+        Arc::new(FlitCxl0::default()),
+        Arc::new(FlitOwnerOpt::default()),
+        Arc::new(FlitAsync::default()),
+        Arc::new(NaiveMStore),
+    ]
+}
+
+/// Result of one workload run under one strategy.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// The strategy name.
+    pub strategy: &'static str,
+    /// Operations performed.
+    pub ops: usize,
+    /// Backend primitive counts for the run.
+    pub stats: StatsSnapshot,
+    /// Simulated nanoseconds per operation.
+    pub sim_ns_per_op: f64,
+    /// Wall-clock nanoseconds per operation.
+    pub wall_ns_per_op: f64,
+}
+
+impl RunReport {
+    /// Flushes issued per operation.
+    pub fn flushes_per_op(&self) -> f64 {
+        self.stats.flushes() as f64 / self.ops as f64
+    }
+}
+
+/// A fresh 2-compute + 1-memory fabric with `cells` shared cells.
+pub fn bench_fabric(cells: u32) -> (Arc<SimFabric>, Arc<SharedHeap>) {
+    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, cells));
+    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM_NODE));
+    (fabric, heap)
+}
+
+/// Runs `n` map operations from `workload` under `strategy`, returning a
+/// report of primitive counts and per-op costs.
+pub fn run_map_workload(
+    strategy: Arc<dyn Persistence>,
+    workload: &mut Workload,
+    n: usize,
+) -> RunReport {
+    let name = strategy.name();
+    let (fabric, heap) = bench_fabric(1 << 18);
+    let map = DurableMap::create(&heap, 4096, strategy).expect("heap fits the map");
+    let node = fabric.node(MachineId(0));
+    let before = fabric.stats().snapshot();
+    let start = std::time::Instant::now();
+    for op in workload.take_ops(n) {
+        match op {
+            WorkloadOp::Read(k) => {
+                map.get(&node, k).unwrap();
+            }
+            WorkloadOp::Insert(k, v) => {
+                map.insert(&node, k, v).unwrap();
+            }
+            WorkloadOp::Remove(k) => {
+                map.remove(&node, k).unwrap();
+            }
+        }
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    let stats = fabric.stats().snapshot().since(&before);
+    RunReport {
+        strategy: name,
+        ops: n,
+        sim_ns_per_op: stats.sim_ns as f64 / n as f64,
+        wall_ns_per_op: wall / n as f64,
+        stats,
+    }
+}
+
+/// Runs `n` enqueue/dequeue pairs under `strategy`.
+pub fn run_queue_workload(strategy: Arc<dyn Persistence>, n: usize) -> RunReport {
+    let name = strategy.name();
+    let (fabric, heap) = bench_fabric(1 << 18);
+    let queue = DurableQueue::create(&heap, strategy).expect("heap fits the queue");
+    let node = fabric.node(MachineId(0));
+    queue.init(&node).unwrap();
+    let before = fabric.stats().snapshot();
+    let start = std::time::Instant::now();
+    for i in 0..n as u64 {
+        queue.enqueue(&node, i + 1).unwrap();
+        queue.dequeue(&node).unwrap();
+    }
+    let wall = start.elapsed().as_nanos() as f64;
+    let stats = fabric.stats().snapshot().since(&before);
+    RunReport {
+        strategy: name,
+        ops: 2 * n,
+        sim_ns_per_op: stats.sim_ns as f64 / (2 * n) as f64,
+        wall_ns_per_op: wall / (2 * n) as f64,
+        stats,
+    }
+}
+
+/// A standard YCSB-B-like map workload.
+pub fn standard_map_workload(seed: u64) -> Workload {
+    Workload::new(KeyDist::zipfian(1024, 0.99), OpMix::update_heavy(), seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_workload_reports_counts() {
+        let mut w = standard_map_workload(7);
+        let r = run_map_workload(Arc::new(FlitCxl0::default()), &mut w, 500);
+        assert_eq!(r.strategy, "flit-cxl0");
+        assert_eq!(r.ops, 500);
+        assert!(r.stats.total_ops() > 500);
+        assert!(r.sim_ns_per_op > 0.0);
+        assert!(r.flushes_per_op() > 0.0);
+    }
+
+    #[test]
+    fn naive_beats_flit_on_flush_count_but_not_sim_time() {
+        let mut w1 = standard_map_workload(9);
+        let mut w2 = standard_map_workload(9);
+        let flit = run_map_workload(Arc::new(FlitCxl0::default()), &mut w1, 800);
+        let naive = run_map_workload(Arc::new(NaiveMStore), &mut w2, 800);
+        assert_eq!(naive.stats.flushes(), 0);
+        assert!(flit.stats.flushes() > 0);
+        // The naive transform pays the remote-memory round trip on every
+        // write *and* turns every read of an uncached line into a memory
+        // read; simulated time per op must exceed FliT's.
+        assert!(
+            naive.sim_ns_per_op > flit.sim_ns_per_op * 0.9,
+            "naive {} vs flit {}",
+            naive.sim_ns_per_op,
+            flit.sim_ns_per_op
+        );
+    }
+
+    #[test]
+    fn queue_workload_runs_under_all_strategies() {
+        for s in all_strategies() {
+            let r = run_queue_workload(s, 300);
+            assert_eq!(r.ops, 600);
+            assert!(r.stats.total_ops() > 0, "{}", r.strategy);
+        }
+    }
+
+    #[test]
+    fn flit_async_uses_buffers_not_sync_flushes() {
+        let mut w = standard_map_workload(11);
+        let r = run_map_workload(Arc::new(cxl0_runtime::FlitAsync::default()), &mut w, 500);
+        assert_eq!(r.strategy, "flit-async");
+        assert!(r.stats.aflushes > 0, "expected asynchronous flushes");
+        assert!(r.stats.barriers > 0, "expected barriers");
+        assert_eq!(r.stats.flushes(), 0, "no synchronous flushes expected");
+    }
+}

@@ -1,0 +1,38 @@
+//! # `cxl0` — a complete reproduction of *"A Programming Model for
+//! Disaggregated Memory over CXL"* (ASPLOS 2026)
+//!
+//! This facade re-exports the whole workspace behind one dependency:
+//!
+//! | Module | Crate | Paper artefact |
+//! |---|---|---|
+//! | [`model`] | `cxl0-model` | the CXL0 operational semantics (§3, Fig. 2), variants (§3.5), topologies (§4), `CXL0_AF` async flushes (§3.2 extension) |
+//! | [`explore`] | `cxl0-explore` | litmus tests (Fig. 3 + A1–A8), Proposition 1, variant refinement (FDR4 analogue) |
+//! | [`protocol`] | `cxl0-protocol` | CXL.cache/CXL.mem transaction engine + Table 1 (§5.1), CXL 3.0 BISnp pool (§4) |
+//! | [`fabric`] | `cxl0-fabric` | latency simulation + Figure 5 (§5.2) |
+//! | [`runtime`] | `cxl0-runtime` | executable fabric, FliT (Alg. 2) + FliT-async (Alg. 1 on `CXL0_AF`) + buffered epochs (§8), durable data structures, shared log, GPF snapshots (§6) |
+//! | [`dlcheck`] | `cxl0-dlcheck` | durable + buffered-durable linearizability checking (§6, §8) |
+//! | [`workloads`] | `cxl0-workloads` | benchmark workload generation |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cxl0::explore::{paper, litmus::run_suite};
+//!
+//! // Reproduce the paper's litmus-test verdicts:
+//! let report = run_suite(&paper::all_tests());
+//! assert!(report.all_pass());
+//! ```
+//!
+//! See `examples/` at the repository root for runnable walkthroughs and
+//! `crates/bench` for the per-table/per-figure regeneration harnesses.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cxl0_dlcheck as dlcheck;
+pub use cxl0_explore as explore;
+pub use cxl0_fabric as fabric;
+pub use cxl0_model as model;
+pub use cxl0_protocol as protocol;
+pub use cxl0_runtime as runtime;
+pub use cxl0_workloads as workloads;

@@ -1,0 +1,121 @@
+//! A small growable bitset used as the "linearized ops" mask in the
+//! checker's memoization key.
+
+// The checker only needs a subset of the API; the rest rounds out the
+// type for tests and future checkers.
+#![allow(dead_code)]
+
+/// A fixed-capacity bitset over op indices.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set with capacity for `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Tests bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit index out of range");
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// True if every bit of `other` is set in `self`.
+    pub fn contains_all(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & b == *b)
+    }
+
+    /// Number of set bits.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_round_trip() {
+        let mut b = BitSet::new(130);
+        assert!(!b.get(129));
+        b.set(129);
+        b.set(0);
+        b.set(64);
+        assert!(b.get(129) && b.get(0) && b.get(64));
+        assert_eq!(b.count(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count(), 2);
+    }
+
+    #[test]
+    fn contains_all_subset_logic() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.set(1);
+        a.set(2);
+        b.set(1);
+        assert!(a.contains_all(&b));
+        assert!(!b.contains_all(&a));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let b = BitSet::new(8);
+        let _ = b.get(8);
+    }
+
+    #[test]
+    fn bitsets_hash_and_compare() {
+        use std::collections::HashSet;
+        let mut s = HashSet::new();
+        let mut a = BitSet::new(5);
+        s.insert(a.clone());
+        a.set(3);
+        s.insert(a.clone());
+        assert_eq!(s.len(), 2);
+        s.insert(a);
+        assert_eq!(s.len(), 2);
+    }
+}

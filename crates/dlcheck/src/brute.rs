@@ -1,0 +1,172 @@
+//! A brute-force reference linearizability checker: enumerates every
+//! subset of pending operations to include and every interleaving
+//! consistent with real-time order, with **no** memoization or pruning
+//! beyond spec mismatch.
+//!
+//! Exponential — only usable on tiny histories. Exists to cross-validate
+//! the memoized checker in property tests.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::history::History;
+use crate::lin::{collect_ops, OpRecord};
+use crate::spec::SeqSpec;
+
+/// Brute-force linearizability check. Returns `true` iff linearizable.
+pub fn brute_force_linearizable<S: SeqSpec>(spec: &S, history: &History<S::Op, S::Ret>) -> bool
+where
+    S::Op: Clone + fmt::Debug,
+    S::Ret: Clone + fmt::Debug + PartialEq,
+    S::State: Clone + Hash + Eq,
+{
+    let ops = collect_ops(history);
+    let n = ops.len();
+    assert!(n <= 16, "brute force checker is for tiny histories only");
+
+    let pending: Vec<usize> = (0..n).filter(|&j| ops[j].response.is_none()).collect();
+    // Enumerate inclusion subsets of pending ops.
+    for subset in 0..(1u32 << pending.len()) {
+        let mut included = vec![false; n];
+        for (b, &j) in pending.iter().enumerate() {
+            included[j] = subset & (1 << b) != 0;
+        }
+        for (j, o) in ops.iter().enumerate() {
+            if o.response.is_some() {
+                included[j] = true;
+            }
+        }
+        if search(spec, &ops, &included, &mut vec![false; n], &spec.initial()) {
+            return true;
+        }
+    }
+    false
+}
+
+fn search<S: SeqSpec>(
+    spec: &S,
+    ops: &[OpRecord<S::Op, S::Ret>],
+    included: &[bool],
+    used: &mut Vec<bool>,
+    state: &S::State,
+) -> bool
+where
+    S::Op: Clone + fmt::Debug,
+    S::Ret: Clone + fmt::Debug + PartialEq,
+{
+    if (0..ops.len()).all(|j| !included[j] || used[j]) {
+        return true;
+    }
+    'next: for j in 0..ops.len() {
+        if !included[j] || used[j] {
+            continue;
+        }
+        // Real-time order: every *completed* op responding before j's
+        // invocation must already be used.
+        for (k, q) in ops.iter().enumerate() {
+            if k == j || !included[k] || used[k] {
+                continue;
+            }
+            if let Some((resp, _)) = &q.response {
+                if *resp < ops[j].invoked_at {
+                    continue 'next;
+                }
+            }
+        }
+        let (next, ret) = spec.apply(state, &ops[j].op);
+        if let Some((_, actual)) = &ops[j].response {
+            if *actual != ret {
+                continue;
+            }
+        }
+        used[j] = true;
+        if search(spec, ops, included, used, &next) {
+            used[j] = false;
+            return true;
+        }
+        used[j] = false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Event, OpId, ThreadId};
+    use crate::lin::check_linearizable;
+    use crate::spec::{RegisterOp, RegisterRet, RegisterSpec};
+    use proptest::prelude::*;
+
+    /// Random small register histories: the memoized checker and the brute
+    /// force checker must agree.
+    fn arb_history() -> impl Strategy<Value = History<RegisterOp, RegisterRet>> {
+        // Generate 2 threads × up to 3 ops each as (op, respond?) pairs,
+        // then interleave deterministically from a seed.
+        let op = prop_oneof![
+            Just(RegisterOp::Read),
+            (0u64..3).prop_map(RegisterOp::Write),
+            (0u64..3, 0u64..3).prop_map(|(a, b)| RegisterOp::Cas(a, b)),
+        ];
+        let per_thread = proptest::collection::vec((op, any::<bool>(), 0u64..3), 0..3);
+        (per_thread.clone(), per_thread, any::<u64>()).prop_map(|(t0, t1, seed)| {
+            let mut events = Vec::new();
+            let mut id = 0usize;
+            let mut queues = [t0, t1];
+            let mut rng = seed;
+            let mut pending: [Option<(OpId, RegisterOp, bool, u64)>; 2] = [None, None];
+            loop {
+                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let t = (rng >> 33) as usize % 2;
+                if let Some((oid, op, respond, rv)) = pending[t].take() {
+                    if respond {
+                        let ret = match op {
+                            RegisterOp::Read => RegisterRet::Value(rv),
+                            RegisterOp::Write(_) => RegisterRet::Ok,
+                            RegisterOp::Cas(..) => RegisterRet::CasResult(rv % 2 == 0),
+                        };
+                        events.push(Event::Respond { id: oid, ret });
+                    } else {
+                        // Op stays pending forever; the thread is stuck on
+                        // it and never issues another op (well-formedness).
+                        queues[t].clear();
+                    }
+                    continue;
+                }
+                if let Some((op, respond, rv)) = queues[t].pop() {
+                    let oid = OpId(id);
+                    id += 1;
+                    events.push(Event::Invoke {
+                        id: oid,
+                        thread: ThreadId(t),
+                        machine: 0,
+                        op,
+                    });
+                    pending[t] = Some((oid, op, respond, rv));
+                } else if queues[(t + 1) % 2].is_empty()
+                    && pending[(t + 1) % 2].is_none()
+                {
+                    break;
+                }
+            }
+            History::from_events_unchecked(events)
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(200))]
+        #[test]
+        fn memoized_checker_agrees_with_brute_force(h in arb_history()) {
+            prop_assume!(h.num_ops() <= 6);
+            let fast = check_linearizable(&RegisterSpec, &h).is_linearizable();
+            let slow = brute_force_linearizable(&RegisterSpec, &h);
+            prop_assert_eq!(fast, slow);
+        }
+    }
+
+    #[test]
+    fn trivially_agrees_on_empty() {
+        let h: History<RegisterOp, RegisterRet> = History::new();
+        assert!(brute_force_linearizable(&RegisterSpec, &h));
+        assert!(check_linearizable(&RegisterSpec, &h).is_linearizable());
+    }
+}

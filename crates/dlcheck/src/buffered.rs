@@ -1,0 +1,606 @@
+//! *Buffered* durable linearizability — the relaxed durability criterion
+//! of Izraelevitz et al. that the paper's §8 points to as a performance
+//! opportunity ("relaxing durability semantics has generally been shown to
+//! be beneficial for performance").
+//!
+//! Under **strict** durable linearizability every completed operation must
+//! survive a crash. Under the **buffered** variant a crash may roll the
+//! object back to an earlier consistent state: a *suffix* of the completed
+//! operations may be lost, as long as what survives is a consistent cut —
+//! exactly the guarantee an epoch/sync-based implementation (Montage-style,
+//! `cxl0-runtime`'s `BufferedEpoch`) provides, where only operations before
+//! the last explicit `sync` are guaranteed.
+//!
+//! ## What exactly is checked
+//!
+//! The history is split into *eras* at crash events. For each pre-crash era
+//! the checker searches for a **cut**: a position in the era's event
+//! sequence such that
+//!
+//! 1. **pre-crash worlds are live-linearizable** — for every era `j`, the
+//!    surviving prefixes of eras `0..j` followed by the *complete* era `j`
+//!    must be linearizable (clients got real answers before the crash, even
+//!    for operations whose effects were later dropped);
+//! 2. **the recovery world is linearizable** — the surviving prefixes of
+//!    all pre-crash eras followed by the final era must be linearizable,
+//!    where "surviving prefix" removes every operation invoked at or after
+//!    the cut and demotes operations spanning the cut to pending
+//!    (complete-or-omit, mirroring an effect that may or may not have
+//!    reached persistence).
+//!
+//! The cut is a *real-time* frontier, which is the guarantee sync/epoch
+//! implementations actually give (everything before the last `sync`
+//! persists, everything after may vanish wholesale). A hypothetical
+//! implementation that drops a non-real-time suffix of the linearization
+//! order would be rejected here even though the abstract definition of
+//! buffered durable linearizability permits it — the checker is
+//! conservative in that direction. In the other direction it follows the
+//! paper's partial-crash model: an operation left pending by a cut may
+//! still take effect *after* the crash, because its store can survive in a
+//! non-crashed machine's cache and propagate later (the paper's litmus
+//! test 8).
+//!
+//! Cuts are searched latest-first, so the reported witness drops as few
+//! operations as possible; in particular a strictly durably linearizable
+//! history is reported with zero drops.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::history::{Event, History, OpId};
+use crate::lin::{check_linearizable, LinResult};
+use crate::spec::SeqSpec;
+
+/// Result of a buffered-durable-linearizability check.
+#[derive(Debug, Clone)]
+pub enum BufferedResult<Op> {
+    /// The history satisfies buffered durable linearizability.
+    BufferedDurablyLinearizable {
+        /// The chosen cut position (event index within the era) for each
+        /// pre-crash era. A cut equal to the era length drops nothing.
+        cuts: Vec<usize>,
+        /// Completed operations whose effects were dropped by the cuts.
+        dropped: usize,
+        /// Witness linearization of the recovery world.
+        witness: Vec<(OpId, Op)>,
+    },
+    /// The history is not well formed.
+    IllFormed(String),
+    /// No cut assignment yields consistent worlds.
+    NotBufferedLinearizable,
+    /// The search budget was exhausted before a verdict (only possible
+    /// with many crashes and long eras).
+    BudgetExhausted,
+}
+
+impl<Op> BufferedResult<Op> {
+    /// True iff the history passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, BufferedResult::BufferedDurablyLinearizable { .. })
+    }
+
+    /// Number of dropped completed operations, if the check passed.
+    pub fn dropped(&self) -> Option<usize> {
+        match self {
+            BufferedResult::BufferedDurablyLinearizable { dropped, .. } => Some(*dropped),
+            _ => None,
+        }
+    }
+}
+
+impl<Op: fmt::Debug> fmt::Display for BufferedResult<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BufferedResult::BufferedDurablyLinearizable {
+                cuts,
+                dropped,
+                witness,
+            } => write!(
+                f,
+                "buffered durably linearizable ({} ops take effect, {dropped} completed ops \
+                 dropped, cuts {cuts:?})",
+                witness.len()
+            ),
+            BufferedResult::IllFormed(why) => write!(f, "ill-formed history: {why}"),
+            BufferedResult::NotBufferedLinearizable => {
+                write!(f, "NOT buffered durably linearizable")
+            }
+            BufferedResult::BudgetExhausted => write!(f, "cut-search budget exhausted"),
+        }
+    }
+}
+
+/// Splits a history's events into eras at crash events. Crash events
+/// themselves are not part of any era.
+fn split_eras<Op: Clone + fmt::Debug, Ret: Clone + fmt::Debug>(
+    history: &History<Op, Ret>,
+) -> Vec<Vec<Event<Op, Ret>>> {
+    let mut eras = vec![Vec::new()];
+    for ev in history.events() {
+        match ev {
+            Event::Crash { .. } => eras.push(Vec::new()),
+            other => eras.last_mut().expect("never empty").push(other.clone()),
+        }
+    }
+    eras
+}
+
+/// The surviving prefix of an era under `cut`: events at index `>= cut`
+/// are removed; an invocation kept whose response is removed leaves the
+/// operation pending (complete-or-omit).
+fn truncate<Op: Clone, Ret: Clone>(era: &[Event<Op, Ret>], cut: usize) -> Vec<Event<Op, Ret>> {
+    era.iter().take(cut).cloned().collect()
+}
+
+/// Positions worth cutting at: era boundaries and positions just before
+/// each response event (cutting elsewhere is equivalent to one of these,
+/// because only which responses/invocations survive matters).
+fn candidate_cuts<Op, Ret>(era: &[Event<Op, Ret>]) -> Vec<usize> {
+    let mut cuts = vec![era.len()];
+    for (i, ev) in era.iter().enumerate().rev() {
+        if matches!(ev, Event::Respond { .. } | Event::Invoke { .. }) {
+            cuts.push(i);
+        }
+    }
+    cuts.dedup();
+    cuts
+}
+
+/// Checks buffered durable linearizability of `history` against `spec`,
+/// with a default search budget of 100 000 linearizability sub-checks.
+pub fn check_buffered_durably_linearizable<S: SeqSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+) -> BufferedResult<S::Op>
+where
+    S::Op: Clone + fmt::Debug,
+    S::Ret: Clone + fmt::Debug + PartialEq,
+    S::State: Clone + Hash + Eq,
+{
+    check_buffered_with_budget(spec, history, 100_000)
+}
+
+/// [`check_buffered_durably_linearizable`] with an explicit budget on the
+/// number of linearizability sub-checks.
+pub fn check_buffered_with_budget<S: SeqSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+    budget: usize,
+) -> BufferedResult<S::Op>
+where
+    S::Op: Clone + fmt::Debug,
+    S::Ret: Clone + fmt::Debug + PartialEq,
+    S::State: Clone + Hash + Eq,
+{
+    if let Err(why) = history.validate() {
+        return BufferedResult::IllFormed(why);
+    }
+    let eras = split_eras(history);
+    let k = eras.len() - 1; // number of crashes / pre-crash eras
+
+    // Pre-crash world 0 (the live run before the first crash) does not
+    // depend on any cut; check it once.
+    let mut checks = 0usize;
+    let mut lin_of = |events: Vec<Event<S::Op, S::Ret>>| -> Option<LinResult<S::Op>> {
+        checks += 1;
+        if checks > budget {
+            return None;
+        }
+        Some(check_linearizable(
+            spec,
+            &History::from_events_unchecked(events),
+        ))
+    };
+
+    if k == 0 {
+        // No crashes: buffered DL degenerates to plain linearizability.
+        return match lin_of(eras[0].clone()) {
+            None => BufferedResult::BudgetExhausted,
+            Some(LinResult::Linearizable { witness }) => {
+                BufferedResult::BufferedDurablyLinearizable {
+                    cuts: Vec::new(),
+                    dropped: 0,
+                    witness,
+                }
+            }
+            Some(LinResult::NotLinearizable) => BufferedResult::NotBufferedLinearizable,
+        };
+    }
+
+    // Depth-first search over cut vectors, latest cuts first. At depth j we
+    // have chosen cuts for eras 0..j and verified the pre-crash world of
+    // era j under those cuts.
+    struct Frame {
+        era: usize,
+        cuts: Vec<usize>,
+        prefix: Vec<usize>, // remaining candidate cuts for this era
+    }
+
+    // Verify pre-crash world j under `chosen` cuts for eras 0..j.
+    // Returns None on budget exhaustion.
+    fn world<S: SeqSpec>(
+        eras: &[Vec<Event<S::Op, S::Ret>>],
+        chosen: &[usize],
+        j: usize,
+    ) -> Vec<Event<S::Op, S::Ret>>
+    where
+        S::Op: Clone,
+        S::Ret: Clone,
+    {
+        let mut events = Vec::new();
+        for (i, &cut) in chosen.iter().enumerate().take(j) {
+            events.extend(truncate(&eras[i], cut));
+        }
+        events.extend(eras[j].iter().cloned());
+        events
+    }
+
+    // The live world of era 0 must hold regardless of cuts.
+    match lin_of(eras[0].clone()) {
+        None => return BufferedResult::BudgetExhausted,
+        Some(LinResult::NotLinearizable) => return BufferedResult::NotBufferedLinearizable,
+        Some(LinResult::Linearizable { .. }) => {}
+    }
+
+    let mut stack = vec![Frame {
+        era: 0,
+        cuts: Vec::new(),
+        prefix: candidate_cuts(&eras[0]),
+    }];
+
+    while let Some(frame) = stack.last_mut() {
+        let Some(cut) = frame.prefix.first().copied() else {
+            stack.pop();
+            continue;
+        };
+        frame.prefix.remove(0);
+        let mut cuts = frame.cuts.clone();
+        let era = frame.era;
+        cuts.push(cut);
+
+        if era + 1 < k {
+            // Verify the next pre-crash world under this cut prefix, then
+            // descend.
+            match lin_of(world::<S>(&eras, &cuts, era + 1)) {
+                None => return BufferedResult::BudgetExhausted,
+                Some(LinResult::NotLinearizable) => continue,
+                Some(LinResult::Linearizable { .. }) => {}
+            }
+            let prefix = candidate_cuts(&eras[era + 1]);
+            stack.push(Frame {
+                era: era + 1,
+                cuts,
+                prefix,
+            });
+        } else {
+            // All cuts chosen: verify the recovery world.
+            match lin_of(world::<S>(&eras, &cuts, k)) {
+                None => return BufferedResult::BudgetExhausted,
+                Some(LinResult::NotLinearizable) => continue,
+                Some(LinResult::Linearizable { witness }) => {
+                    let dropped = count_dropped(&eras, &cuts);
+                    return BufferedResult::BufferedDurablyLinearizable {
+                        cuts,
+                        dropped,
+                        witness,
+                    };
+                }
+            }
+        }
+    }
+    BufferedResult::NotBufferedLinearizable
+}
+
+/// Completed operations of pre-crash eras whose invocation or response
+/// falls at or after the era's cut.
+fn count_dropped<Op, Ret>(eras: &[Vec<Event<Op, Ret>>], cuts: &[usize]) -> usize {
+    let mut dropped = 0;
+    for (era, &cut) in eras.iter().zip(cuts) {
+        let mut completed_after = std::collections::HashSet::new();
+        for (i, ev) in era.iter().enumerate() {
+            if let Event::Respond { id, .. } = ev {
+                if i >= cut {
+                    completed_after.insert(*id);
+                }
+            }
+        }
+        dropped += completed_after.len();
+    }
+    dropped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::durable::check_durably_linearizable;
+    use crate::history::{Recorder, ThreadId};
+    use crate::spec::{QueueOp, QueueRet, QueueSpec, RegisterOp, RegisterRet, RegisterSpec};
+
+    /// A completed-but-lost write is FORBIDDEN strictly but ALLOWED
+    /// buffered — the defining difference between the two criteria.
+    #[test]
+    fn lost_completed_write_allowed_buffered_forbidden_strict() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(0));
+        let h = rec.finish();
+        assert!(!check_durably_linearizable(&RegisterSpec, &h).is_ok());
+        let b = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(b.is_ok(), "{b}");
+        assert_eq!(b.dropped(), Some(1));
+    }
+
+    /// Strictly durable histories pass buffered with zero drops (the cut
+    /// search is latest-first).
+    #[test]
+    fn strict_histories_pass_with_zero_drops() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(7));
+        let h = rec.finish();
+        assert!(check_durably_linearizable(&RegisterSpec, &h).is_ok());
+        let b = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(b.is_ok());
+        assert_eq!(b.dropped(), Some(0));
+    }
+
+    /// The drop must be a *suffix*: surviving a later op while losing an
+    /// earlier one it depends on is still forbidden.
+    #[test]
+    fn non_suffix_drop_rejected() {
+        // Enq(1); Enq(2) completed sequentially pre-crash. Post-crash, the
+        // queue contains only 2: the cut would have to drop Enq(1) but
+        // keep Enq(2) — not a consistent cut.
+        let rec = Recorder::new();
+        let a = rec.invoke(ThreadId(0), 0, QueueOp::Enq(1));
+        rec.respond(a, QueueRet::Ok);
+        let b = rec.invoke(ThreadId(0), 0, QueueOp::Enq(2));
+        rec.respond(b, QueueRet::Ok);
+        rec.crash(0);
+        let d = rec.invoke(ThreadId(1), 0, QueueOp::Deq);
+        rec.respond(d, QueueRet::Deqd(Some(2)));
+        let d2 = rec.invoke(ThreadId(1), 0, QueueOp::Deq);
+        rec.respond(d2, QueueRet::Deqd(None));
+        let h = rec.finish();
+        assert!(!check_buffered_durably_linearizable(&QueueSpec, &h).is_ok());
+    }
+
+    /// Dropping a whole suffix of a queue history is fine.
+    #[test]
+    fn suffix_drop_of_queue_accepted() {
+        let rec = Recorder::new();
+        for v in [1u64, 2, 3] {
+            let e = rec.invoke(ThreadId(0), 0, QueueOp::Enq(v));
+            rec.respond(e, QueueRet::Ok);
+        }
+        rec.crash(0);
+        // Only the first enqueue survived the crash.
+        let d = rec.invoke(ThreadId(1), 0, QueueOp::Deq);
+        rec.respond(d, QueueRet::Deqd(Some(1)));
+        let d2 = rec.invoke(ThreadId(1), 0, QueueOp::Deq);
+        rec.respond(d2, QueueRet::Deqd(None));
+        let h = rec.finish();
+        let b = check_buffered_durably_linearizable(&QueueSpec, &h);
+        assert!(b.is_ok(), "{b}");
+        assert_eq!(b.dropped(), Some(2));
+    }
+
+    /// Pre-crash answers still have to be consistent *at the time*, even
+    /// for operations whose effects are later dropped.
+    #[test]
+    fn inconsistent_pre_crash_answers_rejected() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        // This read happened pre-crash and must see 7 — claiming 3 is a
+        // live linearizability violation, not a durability question.
+        let r = rec.invoke(ThreadId(0), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(3));
+        rec.crash(0);
+        let r2 = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r2, RegisterRet::Value(0));
+        let h = rec.finish();
+        assert!(!check_buffered_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    /// Multiple crashes: each era may drop its own suffix.
+    #[test]
+    fn multiple_crashes_each_era_cut_independently() {
+        let rec = Recorder::new();
+        let w1 = rec.invoke(ThreadId(0), 0, RegisterOp::Write(1));
+        rec.respond(w1, RegisterRet::Ok);
+        let w2 = rec.invoke(ThreadId(0), 0, RegisterOp::Write(2));
+        rec.respond(w2, RegisterRet::Ok);
+        rec.crash(0);
+        // Era 1: recovered to 1 (w2 dropped), then writes 5.
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(1));
+        let w3 = rec.invoke(ThreadId(1), 0, RegisterOp::Write(5));
+        rec.respond(w3, RegisterRet::Ok);
+        rec.crash(0);
+        // Era 2: recovered to 1 again (w3 dropped too).
+        let r2 = rec.invoke(ThreadId(2), 0, RegisterOp::Read);
+        rec.respond(r2, RegisterRet::Value(1));
+        let h = rec.finish();
+        let b = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(b.is_ok(), "{b}");
+        assert_eq!(b.dropped(), Some(2));
+    }
+
+    /// A rollback to a state that never existed is rejected even with
+    /// generous cuts.
+    #[test]
+    fn phantom_state_rejected() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(9)); // 9 was never written
+        let h = rec.finish();
+        assert!(!check_buffered_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    /// A crash-free history degenerates to plain linearizability.
+    #[test]
+    fn crash_free_history_is_plain_linearizability() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(4));
+        rec.respond(w, RegisterRet::Ok);
+        let r = rec.invoke(ThreadId(0), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(4));
+        let h = rec.finish();
+        let b = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(b.is_ok());
+        assert_eq!(b.dropped(), Some(0));
+    }
+
+    /// An operation pending at the crash may still take effect afterwards
+    /// (the paper's litmus-8 style lingering-cache behavior).
+    #[test]
+    fn pending_op_may_take_effect_after_crash() {
+        let rec = Recorder::new();
+        let _w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(7));
+        let h = rec.finish();
+        assert!(check_buffered_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn ill_formed_history_reported() {
+        let h: History<RegisterOp, RegisterRet> =
+            History::from_events_unchecked(vec![Event::Respond {
+                id: OpId(0),
+                ret: RegisterRet::Ok,
+            }]);
+        let r = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(matches!(r, BufferedResult::IllFormed(_)));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(0));
+        let h = rec.finish();
+        let b = check_buffered_with_budget(&RegisterSpec, &h, 1);
+        assert!(matches!(b, BufferedResult::BudgetExhausted));
+    }
+
+    #[test]
+    fn display_forms() {
+        let rec: Recorder<RegisterOp, RegisterRet> = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(1));
+        rec.respond(w, RegisterRet::Ok);
+        let h = rec.finish();
+        let b = check_buffered_durably_linearizable(&RegisterSpec, &h);
+        assert!(b.to_string().contains("buffered durably linearizable"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Cross-validation against the strict checker on random small
+    //! register histories:
+    //!
+    //! * strict durably linearizable ⟹ buffered with **zero** drops;
+    //! * buffered rejection ⟹ strict rejection (buffered is weaker);
+    //! * crash-free histories: buffered ≡ plain linearizability.
+
+    use proptest::prelude::*;
+
+    use super::*;
+    use crate::durable::check_durably_linearizable;
+    use crate::history::{Event, OpId, ThreadId};
+    use crate::lin::check_linearizable;
+    use crate::spec::{RegisterOp, RegisterRet, RegisterSpec};
+
+    /// Builds a well-formed register history from a script of small
+    /// numbers: each thread runs sequential ops; crashes interleave.
+    fn history_from_script(
+        script: &[(u8, u8, u8)],
+        crashes: &[usize],
+    ) -> History<RegisterOp, RegisterRet> {
+        let mut events = Vec::new();
+        let mut era = 0usize;
+        let crash_set: std::collections::BTreeSet<usize> = crashes.iter().copied().collect();
+        for (i, &(kind, val, ret)) in script.iter().enumerate() {
+            if crash_set.contains(&i) {
+                events.push(Event::Crash { machine: 0 });
+                era += 1;
+            }
+            // One fresh thread per op, all on machine 0 (threads die with
+            // the machine, so use era-distinct ids).
+            let thread = ThreadId(era * 100 + i);
+            let id = OpId(i);
+            if kind % 2 == 0 {
+                events.push(Event::Invoke {
+                    id,
+                    thread,
+                    machine: 0,
+                    op: RegisterOp::Write(u64::from(val % 3)),
+                });
+                events.push(Event::Respond {
+                    id,
+                    ret: RegisterRet::Ok,
+                });
+            } else {
+                events.push(Event::Invoke {
+                    id,
+                    thread,
+                    machine: 0,
+                    op: RegisterOp::Read,
+                });
+                events.push(Event::Respond {
+                    id,
+                    ret: RegisterRet::Value(u64::from(ret % 3)),
+                });
+            }
+        }
+        History::from_events_unchecked(events)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        #[test]
+        fn strict_implies_buffered_with_zero_drops(
+            script in proptest::collection::vec((0..2u8, 0..3u8, 0..3u8), 1..7),
+            crashes in proptest::collection::vec(0..7usize, 0..2),
+        ) {
+            let h = history_from_script(&script, &crashes);
+            prop_assume!(h.validate().is_ok());
+            let strict = check_durably_linearizable(&RegisterSpec, &h);
+            let buffered = check_buffered_durably_linearizable(&RegisterSpec, &h);
+            if strict.is_ok() {
+                prop_assert!(buffered.is_ok(), "strict ok but buffered rejected");
+                prop_assert_eq!(buffered.dropped(), Some(0));
+            }
+            if !buffered.is_ok() {
+                prop_assert!(!strict.is_ok(), "buffered rejected but strict ok");
+            }
+        }
+
+        #[test]
+        fn crash_free_buffered_equals_plain_linearizability(
+            script in proptest::collection::vec((0..2u8, 0..3u8, 0..3u8), 1..7),
+        ) {
+            let h = history_from_script(&script, &[]);
+            prop_assume!(h.validate().is_ok());
+            let plain = check_linearizable(&RegisterSpec, &h).is_linearizable();
+            let buffered = check_buffered_durably_linearizable(&RegisterSpec, &h).is_ok();
+            prop_assert_eq!(plain, buffered);
+        }
+    }
+}

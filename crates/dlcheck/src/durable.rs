@@ -1,0 +1,143 @@
+//! Durable linearizability (Izraelevitz et al., adapted to partial
+//! crashes as in §6 of the paper): a history is *durably linearizable* if
+//! it is well formed and the history obtained by **removing all crash
+//! events** is linearizable.
+//!
+//! As the paper observes, the original abstract happens-before relation
+//! needs no modification for partial crashes: crashes simply disappear
+//! from the checked history, and operations left pending by a crash are
+//! handled by linearizability's usual license to complete or omit pending
+//! invocations.
+
+use std::fmt;
+use std::hash::Hash;
+
+use crate::history::History;
+use crate::lin::{check_linearizable, LinResult};
+use crate::spec::SeqSpec;
+
+/// Result of a durable-linearizability check.
+#[derive(Debug, Clone)]
+pub enum DurableResult<Op> {
+    /// The history is durably linearizable.
+    DurablyLinearizable {
+        /// Witness linearization of the crash-stripped history.
+        witness: Vec<(crate::history::OpId, Op)>,
+    },
+    /// The history is not well formed (description of the violation).
+    IllFormed(String),
+    /// Well formed, but the crash-free history is not linearizable.
+    NotLinearizable,
+}
+
+impl<Op> DurableResult<Op> {
+    /// True iff the history passed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, DurableResult::DurablyLinearizable { .. })
+    }
+}
+
+impl<Op: fmt::Debug> fmt::Display for DurableResult<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurableResult::DurablyLinearizable { witness } => {
+                write!(f, "durably linearizable ({} ops take effect)", witness.len())
+            }
+            DurableResult::IllFormed(why) => write!(f, "ill-formed history: {why}"),
+            DurableResult::NotLinearizable => write!(f, "NOT durably linearizable"),
+        }
+    }
+}
+
+/// Checks durable linearizability of `history` against `spec`.
+pub fn check_durably_linearizable<S: SeqSpec>(
+    spec: &S,
+    history: &History<S::Op, S::Ret>,
+) -> DurableResult<S::Op>
+where
+    S::Op: Clone + fmt::Debug,
+    S::Ret: Clone + fmt::Debug + PartialEq,
+    S::State: Clone + Hash + Eq,
+{
+    if let Err(why) = history.validate() {
+        return DurableResult::IllFormed(why);
+    }
+    let stripped = history.strip_crashes();
+    match check_linearizable(spec, &stripped) {
+        LinResult::Linearizable { witness } => DurableResult::DurablyLinearizable { witness },
+        LinResult::NotLinearizable => DurableResult::NotLinearizable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{Recorder, ThreadId};
+    use crate::spec::{RegisterOp, RegisterRet, RegisterSpec};
+
+    /// The key durability scenario: a completed write must survive a crash.
+    #[test]
+    fn completed_write_must_survive_crash() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0);
+        // New thread after recovery reads 0 — the write was lost although
+        // its response had been delivered: NOT durably linearizable.
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(0));
+        let h = rec.finish();
+        assert!(!check_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    /// A write *pending* at the crash may be lost — that is allowed.
+    #[test]
+    fn pending_write_may_be_lost() {
+        let rec = Recorder::new();
+        let _w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(0));
+        let h = rec.finish();
+        assert!(check_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    /// A pending write may also have taken effect — both outcomes legal.
+    #[test]
+    fn pending_write_may_take_effect() {
+        let rec = Recorder::new();
+        let _w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+        rec.crash(0);
+        let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(7));
+        let h = rec.finish();
+        assert!(check_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    /// Threads on non-crashed machines are unaffected; their completed
+    /// ops must persist too.
+    #[test]
+    fn surviving_machine_sees_consistent_state() {
+        let rec = Recorder::new();
+        let w = rec.invoke(ThreadId(0), 1, RegisterOp::Write(3));
+        rec.respond(w, RegisterRet::Ok);
+        rec.crash(0); // some other machine crashes
+        let r = rec.invoke(ThreadId(0), 1, RegisterOp::Read);
+        rec.respond(r, RegisterRet::Value(3));
+        let h = rec.finish();
+        assert!(check_durably_linearizable(&RegisterSpec, &h).is_ok());
+    }
+
+    #[test]
+    fn ill_formed_history_is_reported() {
+        use crate::history::{Event, OpId};
+        let h: History<RegisterOp, RegisterRet> =
+            History::from_events_unchecked(vec![Event::Respond {
+                id: OpId(0),
+                ret: RegisterRet::Ok,
+            }]);
+        let r = check_durably_linearizable(&RegisterSpec, &h);
+        assert!(matches!(r, DurableResult::IllFormed(_)));
+        assert!(r.to_string().contains("ill-formed"));
+    }
+}

@@ -1,0 +1,403 @@
+//! Concurrent histories: sequences of invocation, response and crash
+//! events, in the style of Herlihy & Wing extended with the paper's
+//! partial-crash events (§6, *Correctness Guarantees*).
+//!
+//! A [`Recorder`] produces histories from live concurrent executions: it
+//! timestamps events with a global sequence number under a lock, which is
+//! sound because recording happens inside the runtime's linearization
+//! points (see `cxl0-runtime`).
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Identifier of one operation instance within a history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+/// Identifier of a thread. Threads never outlive a crash of their machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ThreadId(pub usize);
+
+/// One event of a concurrent history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event<Op, Ret> {
+    /// Thread `thread` (running on `machine`) invokes operation `id`.
+    Invoke {
+        /// The operation instance.
+        id: OpId,
+        /// The invoking thread.
+        thread: ThreadId,
+        /// The machine the thread runs on (its failure domain).
+        machine: usize,
+        /// The operation.
+        op: Op,
+    },
+    /// Operation `id` returns `ret`.
+    Respond {
+        /// The operation instance.
+        id: OpId,
+        /// The returned value.
+        ret: Ret,
+    },
+    /// Machine `machine` crashes: every thread on it stops instantly;
+    /// their pending operations never respond.
+    Crash {
+        /// The crashed machine.
+        machine: usize,
+    },
+}
+
+/// A complete recorded history.
+#[derive(Debug, Clone, Default)]
+pub struct History<Op, Ret> {
+    events: Vec<Event<Op, Ret>>,
+}
+
+impl<Op: Clone + fmt::Debug, Ret: Clone + fmt::Debug> History<Op, Ret> {
+    /// An empty history.
+    pub fn new() -> Self {
+        History { events: Vec::new() }
+    }
+
+    /// Builds a history from raw events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event sequence is not well formed (see
+    /// [`History::validate`]).
+    pub fn from_events(events: Vec<Event<Op, Ret>>) -> Self {
+        let h = History { events };
+        h.validate().expect("ill-formed history");
+        h
+    }
+
+    /// Builds a history from raw events **without** validating. Useful for
+    /// feeding deliberately ill-formed histories to the checkers in tests.
+    pub fn from_events_unchecked(events: Vec<Event<Op, Ret>>) -> Self {
+        History { events }
+    }
+
+    /// The events in order.
+    pub fn events(&self) -> &[Event<Op, Ret>] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if there are no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of operations (invocations).
+    pub fn num_ops(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Invoke { .. }))
+            .count()
+    }
+
+    /// Checks abstract well-formedness (§6): each thread's subsequence is
+    /// an alternation of invocations and matching responses, possibly
+    /// ending with a pending invocation; threads on a crashed machine emit
+    /// no further events after the crash.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        use std::collections::{HashMap, HashSet};
+        // Machines recover after a crash: new threads may run on them. Only
+        // the threads alive *at* the crash die with it (the paper: "new
+        // threads with new and distinct identifiers are spawned").
+        let mut pending_by_thread: HashMap<ThreadId, Option<OpId>> = HashMap::new();
+        let mut machine_of_thread: HashMap<ThreadId, usize> = HashMap::new();
+        let mut dead_threads: HashSet<ThreadId> = HashSet::new();
+        let mut op_thread: HashMap<OpId, ThreadId> = HashMap::new();
+        let mut responded: HashSet<OpId> = HashSet::new();
+
+        for (i, ev) in self.events.iter().enumerate() {
+            match ev {
+                Event::Invoke {
+                    id,
+                    thread,
+                    machine,
+                    ..
+                } => {
+                    if dead_threads.contains(thread) {
+                        return Err(format!(
+                            "event {i}: crashed thread {thread:?} invokes an operation"
+                        ));
+                    }
+                    if let Some(&m) = machine_of_thread.get(thread) {
+                        if m != *machine {
+                            return Err(format!(
+                                "event {i}: thread {thread:?} moved between machines"
+                            ));
+                        }
+                    } else {
+                        machine_of_thread.insert(*thread, *machine);
+                    }
+                    let slot = pending_by_thread.entry(*thread).or_insert(None);
+                    if slot.is_some() {
+                        return Err(format!(
+                            "event {i}: thread {thread:?} invokes while an op is pending"
+                        ));
+                    }
+                    if op_thread.insert(*id, *thread).is_some() {
+                        return Err(format!("event {i}: duplicate op id {id:?}"));
+                    }
+                    *slot = Some(*id);
+                }
+                Event::Respond { id, .. } => {
+                    let Some(thread) = op_thread.get(id).copied() else {
+                        return Err(format!("event {i}: response to unknown op {id:?}"));
+                    };
+                    if responded.contains(id) {
+                        return Err(format!("event {i}: duplicate response for {id:?}"));
+                    }
+                    if dead_threads.contains(&thread) {
+                        return Err(format!(
+                            "event {i}: response from crashed thread {thread:?}"
+                        ));
+                    }
+                    match pending_by_thread.get_mut(&thread) {
+                        Some(slot @ Some(_)) if *slot == Some(*id) => *slot = None,
+                        _ => {
+                            return Err(format!(
+                                "event {i}: response {id:?} does not match thread's pending op"
+                            ))
+                        }
+                    }
+                    responded.insert(*id);
+                }
+                Event::Crash { machine } => {
+                    // Every thread currently on this machine dies with its
+                    // pending op left pending forever.
+                    for (t, m) in &machine_of_thread {
+                        if m == machine {
+                            dead_threads.insert(*t);
+                            if let Some(slot) = pending_by_thread.get_mut(t) {
+                                *slot = None;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The crash-free history used by durable linearizability: crash
+    /// events removed, everything else kept (pending invocations of
+    /// crashed threads remain pending).
+    pub fn strip_crashes(&self) -> History<Op, Ret> {
+        History {
+            events: self
+                .events
+                .iter()
+                .filter(|e| !matches!(e, Event::Crash { .. }))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Number of crash events.
+    pub fn num_crashes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Crash { .. }))
+            .count()
+    }
+}
+
+/// Thread-safe history recorder for live executions.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_dlcheck::{Recorder, ThreadId};
+///
+/// let rec: Recorder<&'static str, u64> = Recorder::new();
+/// let id = rec.invoke(ThreadId(0), 0, "get");
+/// rec.respond(id, 42);
+/// let h = rec.finish();
+/// assert_eq!(h.num_ops(), 1);
+/// assert!(h.validate().is_ok());
+/// ```
+#[derive(Debug)]
+pub struct Recorder<Op, Ret> {
+    inner: Arc<Mutex<RecorderInner<Op, Ret>>>,
+}
+
+#[derive(Debug)]
+struct RecorderInner<Op, Ret> {
+    events: Vec<Event<Op, Ret>>,
+    next_op: usize,
+}
+
+impl<Op, Ret> Clone for Recorder<Op, Ret> {
+    fn clone(&self) -> Self {
+        Recorder {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<Op, Ret> Default for Recorder<Op, Ret> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<Op, Ret> Recorder<Op, Ret> {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Recorder {
+            inner: Arc::new(Mutex::new(RecorderInner {
+                events: Vec::new(),
+                next_op: 0,
+            })),
+        }
+    }
+
+    /// Records an invocation by `thread` on `machine`, allocating an op id.
+    pub fn invoke(&self, thread: ThreadId, machine: usize, op: Op) -> OpId {
+        let mut g = self.inner.lock();
+        let id = OpId(g.next_op);
+        g.next_op += 1;
+        g.events.push(Event::Invoke {
+            id,
+            thread,
+            machine,
+            op,
+        });
+        id
+    }
+
+    /// Records the response of `id`.
+    pub fn respond(&self, id: OpId, ret: Ret) {
+        self.inner.lock().events.push(Event::Respond { id, ret });
+    }
+
+    /// Records a crash of `machine`.
+    pub fn crash(&self, machine: usize) {
+        self.inner.lock().events.push(Event::Crash { machine });
+    }
+
+    /// Extracts the recorded history.
+    pub fn finish(&self) -> History<Op, Ret> {
+        History {
+            events: std::mem::take(&mut self.inner.lock().events),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type H = History<&'static str, u64>;
+
+    #[test]
+    fn sequential_history_is_well_formed() {
+        let rec = Recorder::new();
+        let a = rec.invoke(ThreadId(0), 0, "a");
+        rec.respond(a, 1);
+        let b = rec.invoke(ThreadId(0), 0, "b");
+        rec.respond(b, 2);
+        let h: H = rec.finish();
+        assert!(h.validate().is_ok());
+        assert_eq!(h.num_ops(), 2);
+        assert_eq!(h.len(), 4);
+    }
+
+    #[test]
+    fn overlapping_invocations_same_thread_rejected() {
+        let h: H = History {
+            events: vec![
+                Event::Invoke {
+                    id: OpId(0),
+                    thread: ThreadId(0),
+                    machine: 0,
+                    op: "a",
+                },
+                Event::Invoke {
+                    id: OpId(1),
+                    thread: ThreadId(0),
+                    machine: 0,
+                    op: "b",
+                },
+            ],
+        };
+        assert!(h.validate().unwrap_err().contains("pending"));
+    }
+
+    #[test]
+    fn events_after_crash_rejected() {
+        let h: H = History {
+            events: vec![
+                Event::Invoke {
+                    id: OpId(0),
+                    thread: ThreadId(0),
+                    machine: 0,
+                    op: "a",
+                },
+                Event::Crash { machine: 0 },
+                Event::Respond { id: OpId(0), ret: 1 },
+            ],
+        };
+        assert!(h.validate().is_err());
+    }
+
+    #[test]
+    fn crash_makes_pending_ops_stay_pending() {
+        let rec: Recorder<&'static str, u64> = Recorder::new();
+        let _a = rec.invoke(ThreadId(0), 0, "a");
+        rec.crash(0);
+        let b = rec.invoke(ThreadId(1), 1, "b");
+        rec.respond(b, 7);
+        let h = rec.finish();
+        assert!(h.validate().is_ok());
+        assert_eq!(h.num_crashes(), 1);
+        let stripped = h.strip_crashes();
+        assert_eq!(stripped.num_crashes(), 0);
+        assert_eq!(stripped.num_ops(), 2);
+        assert!(stripped.validate().is_ok());
+    }
+
+    #[test]
+    fn response_without_invoke_rejected() {
+        let h: H = History {
+            events: vec![Event::Respond { id: OpId(3), ret: 0 }],
+        };
+        assert!(h.validate().unwrap_err().contains("unknown op"));
+    }
+
+    #[test]
+    fn thread_cannot_migrate_machines() {
+        let h: H = History {
+            events: vec![
+                Event::Invoke {
+                    id: OpId(0),
+                    thread: ThreadId(0),
+                    machine: 0,
+                    op: "a",
+                },
+                Event::Respond { id: OpId(0), ret: 0 },
+                Event::Invoke {
+                    id: OpId(1),
+                    thread: ThreadId(0),
+                    machine: 1,
+                    op: "b",
+                },
+            ],
+        };
+        assert!(h.validate().unwrap_err().contains("moved between machines"));
+    }
+}

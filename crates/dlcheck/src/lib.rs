@@ -1,0 +1,50 @@
+//! # `cxl0-dlcheck` — (durable) linearizability checking
+//!
+//! Histories, sequential specifications, and checkers for the correctness
+//! criterion that §6 of the CXL0 paper targets: **durable linearizability**
+//! (Izraelevitz et al.) in the *partial-crash* model.
+//!
+//! * [`history`] — invocation/response/crash events, well-formedness, and
+//!   a thread-safe [`Recorder`] for live executions;
+//! * [`spec`] — sequential specs for the objects made durable in §6
+//!   (register, counter, queue, stack, map);
+//! * [`lin`] — a Wing&Gong-style memoized linearizability checker that
+//!   handles pending invocations (complete-or-omit);
+//! * [`durable`] — durable linearizability: strip crashes, then check;
+//! * [`buffered`] — *buffered* durable linearizability (§8's relaxation):
+//!   a crash may drop a suffix of completed operations, provided what
+//!   survives is a consistent cut;
+//! * [`brute`] — a brute-force reference checker for cross-validation.
+//!
+//! ## Example
+//!
+//! ```
+//! use cxl0_dlcheck::{Recorder, ThreadId, check_durably_linearizable};
+//! use cxl0_dlcheck::spec::{RegisterOp, RegisterRet, RegisterSpec};
+//!
+//! let rec = Recorder::new();
+//! let w = rec.invoke(ThreadId(0), 0, RegisterOp::Write(7));
+//! rec.respond(w, RegisterRet::Ok);
+//! rec.crash(0);
+//! let r = rec.invoke(ThreadId(1), 0, RegisterOp::Read);
+//! rec.respond(r, RegisterRet::Value(7)); // the completed write survived
+//! assert!(check_durably_linearizable(&RegisterSpec, &rec.finish()).is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+mod bitset;
+pub mod brute;
+pub mod buffered;
+pub mod durable;
+pub mod history;
+pub mod lin;
+pub mod spec;
+
+pub use buffered::{check_buffered_durably_linearizable, BufferedResult};
+pub use durable::{check_durably_linearizable, DurableResult};
+pub use history::{Event, History, OpId, Recorder, ThreadId};
+pub use lin::{check_linearizable, LinResult, OpRecord};
+pub use spec::SeqSpec;

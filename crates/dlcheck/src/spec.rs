@@ -1,0 +1,444 @@
+//! Sequential specifications of the objects we make durable in §6: the
+//! checker replays candidate linearizations against these.
+
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A deterministic sequential specification.
+///
+/// `State` must be cheaply clonable and hashable — the linearizability
+/// checker memoizes on `(linearized-set, State)` pairs.
+pub trait SeqSpec {
+    /// Operation descriptions (e.g. `Enq(3)`).
+    type Op: Clone + Debug;
+    /// Return values (e.g. `Deq → Some(3)`).
+    type Ret: Clone + Debug + PartialEq;
+    /// Abstract object state.
+    type State: Clone + Debug + Hash + Eq;
+
+    /// The object's initial state.
+    fn initial(&self) -> Self::State;
+
+    /// Applies `op` to `state`, returning the next state and return value.
+    fn apply(&self, state: &Self::State, op: &Self::Op) -> (Self::State, Self::Ret);
+}
+
+// ---------------------------------------------------------------------
+// Register
+// ---------------------------------------------------------------------
+
+/// Operations on an atomic read/write register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterOp {
+    /// Read the current value.
+    Read,
+    /// Write a new value.
+    Write(u64),
+    /// Compare-and-swap: succeed iff the current value equals `.0`.
+    Cas(u64, u64),
+}
+
+/// Return values of register operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RegisterRet {
+    /// Value returned by `Read`.
+    Value(u64),
+    /// `Write` acknowledgement.
+    Ok,
+    /// `Cas` outcome.
+    CasResult(bool),
+}
+
+/// Sequential specification of a 64-bit register initialized to 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegisterSpec;
+
+impl SeqSpec for RegisterSpec {
+    type Op = RegisterOp;
+    type Ret = RegisterRet;
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &RegisterOp) -> (u64, RegisterRet) {
+        match *op {
+            RegisterOp::Read => (*state, RegisterRet::Value(*state)),
+            RegisterOp::Write(v) => (v, RegisterRet::Ok),
+            RegisterOp::Cas(old, new) => {
+                if *state == old {
+                    (new, RegisterRet::CasResult(true))
+                } else {
+                    (*state, RegisterRet::CasResult(false))
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------
+
+/// Operations on a fetch-and-add counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CounterOp {
+    /// Add `delta`, returning the previous value.
+    Add(u64),
+    /// Read the current value.
+    Get,
+}
+
+/// Sequential specification of a wrapping u64 counter initialized to 0.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CounterSpec;
+
+impl SeqSpec for CounterSpec {
+    type Op = CounterOp;
+    type Ret = u64;
+    type State = u64;
+
+    fn initial(&self) -> u64 {
+        0
+    }
+
+    fn apply(&self, state: &u64, op: &CounterOp) -> (u64, u64) {
+        match *op {
+            CounterOp::Add(d) => (state.wrapping_add(d), *state),
+            CounterOp::Get => (*state, *state),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------
+
+/// Operations on a FIFO queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueOp {
+    /// Enqueue a value at the tail.
+    Enq(u64),
+    /// Dequeue from the head (`None` when empty).
+    Deq,
+}
+
+/// Return values of queue operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueRet {
+    /// `Enq` acknowledgement.
+    Ok,
+    /// `Deq` result.
+    Deqd(Option<u64>),
+}
+
+/// Sequential specification of an initially-empty FIFO queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueSpec;
+
+impl SeqSpec for QueueSpec {
+    type Op = QueueOp;
+    type Ret = QueueRet;
+    type State = VecDeque<u64>;
+
+    fn initial(&self) -> VecDeque<u64> {
+        VecDeque::new()
+    }
+
+    fn apply(&self, state: &VecDeque<u64>, op: &QueueOp) -> (VecDeque<u64>, QueueRet) {
+        let mut s = state.clone();
+        match *op {
+            QueueOp::Enq(v) => {
+                s.push_back(v);
+                (s, QueueRet::Ok)
+            }
+            QueueOp::Deq => {
+                let v = s.pop_front();
+                (s, QueueRet::Deqd(v))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stack
+// ---------------------------------------------------------------------
+
+/// Operations on a LIFO stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackOp {
+    /// Push a value.
+    Push(u64),
+    /// Pop the top value (`None` when empty).
+    Pop,
+}
+
+/// Return values of stack operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StackRet {
+    /// `Push` acknowledgement.
+    Ok,
+    /// `Pop` result.
+    Popped(Option<u64>),
+}
+
+/// Sequential specification of an initially-empty LIFO stack.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StackSpec;
+
+impl SeqSpec for StackSpec {
+    type Op = StackOp;
+    type Ret = StackRet;
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u64>, op: &StackOp) -> (Vec<u64>, StackRet) {
+        let mut s = state.clone();
+        match *op {
+            StackOp::Push(v) => {
+                s.push(v);
+                (s, StackRet::Ok)
+            }
+            StackOp::Pop => {
+                let v = s.pop();
+                (s, StackRet::Popped(v))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------
+
+/// Operations on a key-value map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapOp {
+    /// Insert or update a binding, returning the previous value.
+    Insert(u64, u64),
+    /// Look up a key.
+    Get(u64),
+    /// Remove a binding, returning the removed value.
+    Remove(u64),
+}
+
+/// Return values of map operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapRet {
+    /// Previous binding for `Insert` / `Remove`, or lookup result for `Get`.
+    Value(Option<u64>),
+}
+
+/// Sequential specification of an initially-empty map.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MapSpec;
+
+impl SeqSpec for MapSpec {
+    type Op = MapOp;
+    type Ret = MapRet;
+    type State = BTreeMap<u64, u64>;
+
+    fn initial(&self) -> BTreeMap<u64, u64> {
+        BTreeMap::new()
+    }
+
+    fn apply(&self, state: &BTreeMap<u64, u64>, op: &MapOp) -> (BTreeMap<u64, u64>, MapRet) {
+        let mut s = state.clone();
+        let ret = match *op {
+            MapOp::Insert(k, v) => MapRet::Value(s.insert(k, v)),
+            MapOp::Get(k) => MapRet::Value(s.get(&k).copied()),
+            MapOp::Remove(k) => MapRet::Value(s.remove(&k)),
+        };
+        (s, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Set
+// ---------------------------------------------------------------------
+
+/// Operations on a sorted set of keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SetOp {
+    /// Insert a key; returns whether it was newly added.
+    Insert(u64),
+    /// Remove a key; returns whether it was present.
+    Remove(u64),
+    /// Membership test.
+    Contains(u64),
+}
+
+/// Sequential specification of an initially-empty set.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SetSpec;
+
+impl SeqSpec for SetSpec {
+    type Op = SetOp;
+    type Ret = bool;
+    type State = std::collections::BTreeSet<u64>;
+
+    fn initial(&self) -> Self::State {
+        std::collections::BTreeSet::new()
+    }
+
+    fn apply(&self, state: &Self::State, op: &SetOp) -> (Self::State, bool) {
+        let mut s = state.clone();
+        let ret = match *op {
+            SetOp::Insert(k) => s.insert(k),
+            SetOp::Remove(k) => s.remove(&k),
+            SetOp::Contains(k) => s.contains(&k),
+        };
+        (s, ret)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Append-only log
+// ---------------------------------------------------------------------
+
+/// Operations on an append-only log with dense indices (the abstract view
+/// of `cxl0-runtime`'s `DurableLog` when no producer crashes mid-append;
+/// holes/junk are a representation detail below this spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogOp {
+    /// Append a value; returns the assigned index.
+    Append(u64),
+    /// Read the value at an index.
+    Read(u64),
+}
+
+/// Return values of log operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogRet {
+    /// Index assigned by `Append`.
+    Index(u64),
+    /// `Read` result (`None` = nothing at that index).
+    Slot(Option<u64>),
+}
+
+/// Sequential specification of an unbounded append-only log.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogSpec;
+
+impl SeqSpec for LogSpec {
+    type Op = LogOp;
+    type Ret = LogRet;
+    type State = Vec<u64>;
+
+    fn initial(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    fn apply(&self, state: &Vec<u64>, op: &LogOp) -> (Vec<u64>, LogRet) {
+        match *op {
+            LogOp::Append(v) => {
+                let mut s = state.clone();
+                s.push(v);
+                (s.clone(), LogRet::Index(s.len() as u64 - 1))
+            }
+            LogOp::Read(i) => (
+                state.clone(),
+                LogRet::Slot(state.get(i as usize).copied()),
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_appends_densely_and_reads_back() {
+        let spec = LogSpec;
+        let (s, r) = spec.apply(&spec.initial(), &LogOp::Append(7));
+        assert_eq!(r, LogRet::Index(0));
+        let (s, r) = spec.apply(&s, &LogOp::Append(9));
+        assert_eq!(r, LogRet::Index(1));
+        let (s, r) = spec.apply(&s, &LogOp::Read(1));
+        assert_eq!(r, LogRet::Slot(Some(9)));
+        let (_, r) = spec.apply(&s, &LogOp::Read(5));
+        assert_eq!(r, LogRet::Slot(None));
+    }
+
+    #[test]
+    fn set_insert_remove_contains() {
+        let spec = SetSpec;
+        let (s, r) = spec.apply(&spec.initial(), &SetOp::Insert(3));
+        assert!(r);
+        let (s, r) = spec.apply(&s, &SetOp::Insert(3));
+        assert!(!r);
+        let (s, r) = spec.apply(&s, &SetOp::Contains(3));
+        assert!(r);
+        let (s, r) = spec.apply(&s, &SetOp::Remove(3));
+        assert!(r);
+        let (_, r) = spec.apply(&s, &SetOp::Remove(3));
+        assert!(!r);
+    }
+
+    #[test]
+    fn register_spec_cas_semantics() {
+        let spec = RegisterSpec;
+        let s0 = spec.initial();
+        let (s1, r1) = spec.apply(&s0, &RegisterOp::Cas(0, 5));
+        assert_eq!(r1, RegisterRet::CasResult(true));
+        let (s2, r2) = spec.apply(&s1, &RegisterOp::Cas(0, 9));
+        assert_eq!(r2, RegisterRet::CasResult(false));
+        assert_eq!(s2, 5);
+        let (_, r3) = spec.apply(&s2, &RegisterOp::Read);
+        assert_eq!(r3, RegisterRet::Value(5));
+    }
+
+    #[test]
+    fn counter_returns_previous_value() {
+        let spec = CounterSpec;
+        let (s, r) = spec.apply(&spec.initial(), &CounterOp::Add(3));
+        assert_eq!(r, 0);
+        let (_, r2) = spec.apply(&s, &CounterOp::Get);
+        assert_eq!(r2, 3);
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let spec = QueueSpec;
+        let mut s = spec.initial();
+        for v in [1, 2, 3] {
+            s = spec.apply(&s, &QueueOp::Enq(v)).0;
+        }
+        let (s, r) = spec.apply(&s, &QueueOp::Deq);
+        assert_eq!(r, QueueRet::Deqd(Some(1)));
+        let (_, r) = spec.apply(&s, &QueueOp::Deq);
+        assert_eq!(r, QueueRet::Deqd(Some(2)));
+    }
+
+    #[test]
+    fn stack_is_lifo_and_empty_pop_is_none() {
+        let spec = StackSpec;
+        let (s, _) = spec.apply(&spec.initial(), &StackOp::Push(7));
+        let (s, r) = spec.apply(&s, &StackOp::Pop);
+        assert_eq!(r, StackRet::Popped(Some(7)));
+        let (_, r) = spec.apply(&s, &StackOp::Pop);
+        assert_eq!(r, StackRet::Popped(None));
+    }
+
+    #[test]
+    fn map_insert_get_remove_round_trip() {
+        let spec = MapSpec;
+        let (s, r) = spec.apply(&spec.initial(), &MapOp::Insert(1, 10));
+        assert_eq!(r, MapRet::Value(None));
+        let (s, r) = spec.apply(&s, &MapOp::Insert(1, 20));
+        assert_eq!(r, MapRet::Value(Some(10)));
+        let (s, r) = spec.apply(&s, &MapOp::Get(1));
+        assert_eq!(r, MapRet::Value(Some(20)));
+        let (s, r) = spec.apply(&s, &MapOp::Remove(1));
+        assert_eq!(r, MapRet::Value(Some(20)));
+        let (_, r) = spec.apply(&s, &MapOp::Get(1));
+        assert_eq!(r, MapRet::Value(None));
+    }
+}

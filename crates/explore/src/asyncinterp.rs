@@ -1,0 +1,278 @@
+//! Nondeterministic interpretation of the `CXL0_AF` asynchronous-flush
+//! extension (`cxl0_model::asyncflush`).
+//!
+//! This mirrors [`crate::interp::Explorer`] for the extended system: the
+//! silent-step alphabet additionally contains *retirement* steps that
+//! discharge pending persistency-buffer entries, so the τ-closure here
+//! saturates under propagation **and** retirement. On top of the `⟹`
+//! relation we provide the same trace-executability and outcome-comparison
+//! queries, which the `paper_async` litmus suite and the
+//! `AFlush;Barrier ≡ RFlush` equivalence checks are built on.
+
+use std::collections::BTreeSet;
+
+use cxl0_model::asyncflush::{AsyncLabel, AsyncSemantics, AsyncState};
+
+/// A canonical set of extended states.
+pub type AsyncStateSet = BTreeSet<AsyncState>;
+
+/// Interprets `CXL0_AF` traces under a fixed [`AsyncSemantics`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_explore::AsyncExplorer;
+/// use cxl0_model::asyncflush::{AsyncLabel, AsyncSemantics};
+/// use cxl0_model::{Label, Loc, MachineId, SystemConfig, Val};
+///
+/// let sem = AsyncSemantics::new(SystemConfig::symmetric_nvm(2, 1));
+/// let exp = AsyncExplorer::new(&sem);
+/// let (m1, m2) = (MachineId(0), MachineId(1));
+/// let x = Loc::new(m2, 0);
+///
+/// // An un-barriered AFlush guarantees nothing: the stored value may be
+/// // lost with the owner's crash (litmus A4).
+/// let lossy = [
+///     Label::lstore(m1, x, Val(1)).into(),
+///     AsyncLabel::aflush(m1, x),
+///     Label::crash(m2).into(),
+///     Label::load(m1, x, Val(0)).into(),
+/// ];
+/// assert!(exp.is_allowed(&lossy));
+///
+/// // With a barrier the behavior is forbidden, exactly like RFlush
+/// // (litmus A3 vs. paper test 5).
+/// let safe = [
+///     Label::lstore(m1, x, Val(1)).into(),
+///     AsyncLabel::aflush(m1, x),
+///     AsyncLabel::barrier(m1),
+///     Label::crash(m2).into(),
+///     Label::load(m1, x, Val(0)).into(),
+/// ];
+/// assert!(!exp.is_allowed(&safe));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct AsyncExplorer<'a> {
+    sem: &'a AsyncSemantics,
+}
+
+impl<'a> AsyncExplorer<'a> {
+    /// Creates an explorer over the given extended semantics.
+    pub fn new(sem: &'a AsyncSemantics) -> Self {
+        AsyncExplorer { sem }
+    }
+
+    /// The underlying semantics.
+    pub fn semantics(&self) -> &'a AsyncSemantics {
+        self.sem
+    }
+
+    /// The τ-closed singleton of the initial state.
+    pub fn initial_set(&self) -> AsyncStateSet {
+        let mut s = AsyncStateSet::new();
+        s.insert(self.sem.initial_state());
+        self.tau_closure(&s)
+    }
+
+    /// All states reachable from `set` by zero or more silent steps
+    /// (propagation *and* retirement). Terminates: propagation moves values
+    /// monotonically toward memory and retirement strictly shrinks buffers.
+    pub fn tau_closure(&self, set: &AsyncStateSet) -> AsyncStateSet {
+        let mut closed: AsyncStateSet = set.clone();
+        let mut frontier: Vec<AsyncState> = set.iter().cloned().collect();
+        while let Some(st) = frontier.pop() {
+            for step in self.sem.silent_steps(&st) {
+                let next = self
+                    .sem
+                    .apply_silent(&st, &step)
+                    .expect("enumerated silent step must be enabled");
+                if closed.insert(next.clone()) {
+                    frontier.push(next);
+                }
+            }
+        }
+        closed
+    }
+
+    /// Applies one visible label to every state in `set` (blocked or
+    /// mismatching states drop out), without silent steps.
+    pub fn apply_label(&self, set: &AsyncStateSet, label: &AsyncLabel) -> AsyncStateSet {
+        set.iter()
+            .filter_map(|st| self.sem.apply(st, label).ok())
+            .collect()
+    }
+
+    /// The `⟹` step for one label: τ-closure, the label, τ-closure.
+    pub fn after_label(&self, set: &AsyncStateSet, label: &AsyncLabel) -> AsyncStateSet {
+        let closed = self.tau_closure(set);
+        let stepped = self.apply_label(&closed, label);
+        self.tau_closure(&stepped)
+    }
+
+    /// The `⟹` relation for a whole label sequence starting from `set`.
+    pub fn after_trace(&self, set: &AsyncStateSet, trace: &[AsyncLabel]) -> AsyncStateSet {
+        let mut cur = self.tau_closure(set);
+        for label in trace {
+            if cur.is_empty() {
+                break;
+            }
+            cur = self.after_label(&cur, label);
+        }
+        cur
+    }
+
+    /// The states reachable from the initial state via `trace`.
+    pub fn run_trace(&self, trace: &[AsyncLabel]) -> AsyncStateSet {
+        self.after_trace(&self.initial_set(), trace)
+    }
+
+    /// Whether `trace` is executable from the initial state.
+    pub fn is_allowed(&self, trace: &[AsyncLabel]) -> bool {
+        !self.run_trace(trace).is_empty()
+    }
+
+    /// Whether two label sequences lead to the same τ-closed outcome sets
+    /// from `set`.
+    pub fn same_outcomes(
+        &self,
+        set: &AsyncStateSet,
+        a: &[AsyncLabel],
+        b: &[AsyncLabel],
+    ) -> bool {
+        self.after_trace(set, a) == self.after_trace(set, b)
+    }
+
+    /// Whether every outcome of `a` is an outcome of `b` from `set`.
+    pub fn simulates(&self, set: &AsyncStateSet, a: &[AsyncLabel], b: &[AsyncLabel]) -> bool {
+        self.after_trace(set, a)
+            .is_subset(&self.after_trace(set, b))
+    }
+
+    /// Enumerates every state reachable from the initial state using the
+    /// given visible-label alphabet (with τ steps interleaved freely),
+    /// up to `max_states` states. Used by the exhaustive
+    /// `AFlush;Barrier ≡ RFlush` equivalence checks.
+    pub fn reachable_states(&self, alphabet: &[AsyncLabel], max_states: usize) -> AsyncStateSet {
+        let mut seen = self.initial_set();
+        let mut frontier: Vec<AsyncState> = seen.iter().cloned().collect();
+        'explore: while let Some(st) = frontier.pop() {
+            let mut singleton = AsyncStateSet::new();
+            singleton.insert(st);
+            for label in alphabet {
+                for next in self.after_label(&singleton, label) {
+                    if seen.len() >= max_states {
+                        break 'explore;
+                    }
+                    if seen.insert(next.clone()) {
+                        frontier.push(next);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cxl0_model::{Label, Loc, MachineId, SystemConfig, Val};
+
+    const M1: MachineId = MachineId(0);
+    const M2: MachineId = MachineId(1);
+
+    fn sem2() -> AsyncSemantics {
+        AsyncSemantics::new(SystemConfig::symmetric_nvm(2, 1))
+    }
+
+    fn x(owner: usize) -> Loc {
+        Loc::new(MachineId(owner), 0)
+    }
+
+    #[test]
+    fn tau_closure_includes_retirement() {
+        let sem = sem2();
+        let exp = AsyncExplorer::new(&sem);
+        let st = sem
+            .apply(&sem.initial_state(), &AsyncLabel::aflush(M1, x(1)))
+            .unwrap();
+        let mut set = AsyncStateSet::new();
+        set.insert(st);
+        let closed = exp.tau_closure(&set);
+        // Pending and retired variants of the same base state.
+        assert_eq!(closed.len(), 2);
+        assert!(closed.iter().any(AsyncState::all_buffers_empty));
+    }
+
+    #[test]
+    fn barrier_filters_unretired_branches() {
+        let sem = sem2();
+        let exp = AsyncExplorer::new(&sem);
+        let trace = [
+            Label::lstore(M1, x(1), Val(1)).into(),
+            AsyncLabel::aflush(M1, x(1)),
+            AsyncLabel::barrier(M1),
+        ];
+        let set = exp.run_trace(&trace);
+        assert!(!set.is_empty());
+        for st in &set {
+            // Every surviving branch has drained and persisted the store.
+            assert!(st.all_buffers_empty());
+            assert_eq!(st.memory(x(1)), Val(1));
+        }
+    }
+
+    #[test]
+    fn aflush_barrier_equals_rflush_from_reachable_states() {
+        // The headline equivalence: from every reachable state with an
+        // empty issuer buffer, AFlush;Barrier has exactly RFlush's
+        // outcomes. (With a non-empty buffer it is strictly stronger —
+        // covered by the inclusion check below.)
+        let sem = sem2();
+        let exp = AsyncExplorer::new(&sem);
+        let alphabet: Vec<AsyncLabel> = vec![
+            Label::lstore(M1, x(1), Val(1)).into(),
+            Label::lstore(M2, x(1), Val(2)).into(),
+            Label::crash(M2).into(),
+            AsyncLabel::aflush(M1, x(0)),
+        ];
+        let reachable = exp.reachable_states(&alphabet, 500);
+        assert!(reachable.len() > 3);
+        let via_async = [AsyncLabel::aflush(M1, x(1)), AsyncLabel::barrier(M1)];
+        let via_sync = [Label::rflush(M1, x(1)).into()];
+        for st in &reachable {
+            let mut set = AsyncStateSet::new();
+            set.insert(st.clone());
+            if st.pending_of(M1).is_empty() {
+                assert!(
+                    exp.same_outcomes(&set, &via_async, &via_sync),
+                    "outcome mismatch from {st}"
+                );
+            } else {
+                assert!(
+                    exp.simulates(&set, &via_async, &via_sync),
+                    "AFlush;Barrier must refine RFlush from {st}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_allowed() {
+        let sem = sem2();
+        let exp = AsyncExplorer::new(&sem);
+        assert!(exp.is_allowed(&[]));
+    }
+
+    #[test]
+    fn reachable_states_respects_cap() {
+        let sem = sem2();
+        let exp = AsyncExplorer::new(&sem);
+        let alphabet: Vec<AsyncLabel> = vec![
+            Label::lstore(M1, x(1), Val(1)).into(),
+            AsyncLabel::aflush(M1, x(1)),
+        ];
+        let capped = exp.reachable_states(&alphabet, 2);
+        assert!(capped.len() <= 2, "cap exceeded: {}", capped.len());
+    }
+}

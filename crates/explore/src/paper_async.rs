@@ -1,0 +1,265 @@
+//! Litmus tests for the `CXL0_AF` asynchronous-flush extension (§3.2,
+//! *Limitations of CXL* — the extension the paper sketches via persistency
+//! buffers).
+//!
+//! Tests are named `A1`–`A8` and follow the paper's conventions: machine
+//! *1* is `MachineId(0)`, `xᵢ` is the location owned by machine *i*, and
+//! all memory is non-volatile. The suite establishes:
+//!
+//! | Test | Behavior | Verdict |
+//! |---|---|---|
+//! | A1 | `AFlush` alone does not survive the *issuer's* crash | ✔ lossy |
+//! | A2 | `AFlush; Barrier` persists before the issuer's crash | ✗ |
+//! | A3 | `AFlush; Barrier` persists before the *owner's* crash (≙ test 5) | ✗ |
+//! | A4 | un-barriered `AFlush` may lose the store to the owner's crash (≙ test 4) | ✔ |
+//! | A5 | batching: two `AFlush`es under one `Barrier` persist both lines | ✗ |
+//! | A6 | a `Barrier` only waits for the issuer's own buffer | ✔ lossy |
+//! | A7 | `Barrier` with an empty buffer is a no-op (always enabled) | ✔ |
+//! | A8 | a crash discards pending requests: post-crash `Barrier` proves nothing | ✔ lossy |
+
+use cxl0_model::asyncflush::{AsyncLabel, AsyncSemantics};
+use cxl0_model::{Label, Loc, MachineId, ModelVariant, SystemConfig, Val};
+
+use crate::asyncinterp::AsyncExplorer;
+use crate::litmus::Verdict;
+
+const M1: MachineId = MachineId(0);
+const M2: MachineId = MachineId(1);
+
+/// `xᵢ`: the first location owned by the paper's machine `i` (1-based).
+fn x(i: usize) -> Loc {
+    Loc::new(MachineId(i - 1), 0)
+}
+
+/// `yᵢ`: the second location owned by machine `i` (used by the batching
+/// test A5).
+fn y(i: usize) -> Loc {
+    Loc::new(MachineId(i - 1), 1)
+}
+
+/// A litmus test over the extended label alphabet.
+#[derive(Debug, Clone)]
+pub struct AsyncLitmus {
+    /// Short name, e.g. `"test-A1"`.
+    pub name: String,
+    /// What the test demonstrates.
+    pub description: String,
+    /// The system configuration the trace runs over.
+    pub config: SystemConfig,
+    /// The trace of extended labels, in execution order.
+    pub trace: Vec<AsyncLabel>,
+    /// The expected verdict under the base variant of `CXL0_AF`.
+    pub expected: Verdict,
+}
+
+impl AsyncLitmus {
+    /// Runs the test and returns the observed verdict.
+    pub fn run(&self) -> Verdict {
+        let sem = AsyncSemantics::with_variant(self.config.clone(), ModelVariant::Base);
+        let exp = AsyncExplorer::new(&sem);
+        Verdict::from_allowed(exp.is_allowed(&self.trace))
+    }
+
+    /// True if the observed verdict matches the expectation.
+    pub fn passes(&self) -> bool {
+        self.run() == self.expected
+    }
+}
+
+/// The `A1`–`A8` suite.
+pub fn async_flush_tests() -> Vec<AsyncLitmus> {
+    let one = SystemConfig::symmetric_nvm(1, 1);
+    let two = SystemConfig::symmetric_nvm(2, 1);
+    let two_wide = SystemConfig::symmetric_nvm(2, 2);
+    vec![
+        AsyncLitmus {
+            name: "test-A1".into(),
+            description: "an un-barriered AFlush request dies with the issuer".into(),
+            config: one.clone(),
+            trace: vec![
+                Label::lstore(M1, x(1), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(1)),
+                Label::crash(M1).into(),
+                Label::load(M1, x(1), Val(0)).into(),
+            ],
+            expected: Verdict::Allowed,
+        },
+        AsyncLitmus {
+            name: "test-A2".into(),
+            description: "AFlush;Barrier persists before the issuer's crash (≙ test 3)".into(),
+            config: one,
+            trace: vec![
+                Label::lstore(M1, x(1), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(1)),
+                AsyncLabel::barrier(M1),
+                Label::crash(M1).into(),
+                Label::load(M1, x(1), Val(0)).into(),
+            ],
+            expected: Verdict::Forbidden,
+        },
+        AsyncLitmus {
+            name: "test-A3".into(),
+            description: "AFlush;Barrier reaches remote persistent memory (≙ test 5)".into(),
+            config: two.clone(),
+            trace: vec![
+                Label::lstore(M1, x(2), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(2)),
+                AsyncLabel::barrier(M1),
+                Label::crash(M2).into(),
+                Label::load(M1, x(2), Val(0)).into(),
+            ],
+            expected: Verdict::Forbidden,
+        },
+        AsyncLitmus {
+            name: "test-A4".into(),
+            description: "without the barrier the remote store may still be lost (≙ test 4)"
+                .into(),
+            config: two.clone(),
+            trace: vec![
+                Label::lstore(M1, x(2), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(2)),
+                Label::crash(M2).into(),
+                Label::load(M1, x(2), Val(0)).into(),
+            ],
+            expected: Verdict::Allowed,
+        },
+        AsyncLitmus {
+            name: "test-A5".into(),
+            description: "batching: one barrier retires both pending flushes".into(),
+            config: two_wide,
+            trace: vec![
+                Label::lstore(M1, x(2), Val(1)).into(),
+                Label::lstore(M1, y(2), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(2)),
+                AsyncLabel::aflush(M1, y(2)),
+                AsyncLabel::barrier(M1),
+                Label::crash(M2).into(),
+                // Losing *either* line is forbidden; losing y is the harder
+                // branch (flushed second), so we assert it.
+                Label::load(M1, y(2), Val(0)).into(),
+            ],
+            expected: Verdict::Forbidden,
+        },
+        AsyncLitmus {
+            name: "test-A6".into(),
+            description: "a barrier by machine 2 does not retire machine 1's requests".into(),
+            config: two.clone(),
+            trace: vec![
+                Label::lstore(M1, x(2), Val(1)).into(),
+                AsyncLabel::aflush(M1, x(2)),
+                AsyncLabel::barrier(M2),
+                Label::crash(M2).into(),
+                Label::load(M1, x(2), Val(0)).into(),
+            ],
+            expected: Verdict::Allowed,
+        },
+        AsyncLitmus {
+            name: "test-A7".into(),
+            description: "a barrier over an empty buffer never blocks".into(),
+            config: two.clone(),
+            trace: vec![
+                AsyncLabel::barrier(M1),
+                Label::lstore(M1, x(2), Val(1)).into(),
+                AsyncLabel::barrier(M2),
+                Label::load(M1, x(2), Val(1)).into(),
+            ],
+            expected: Verdict::Allowed,
+        },
+        AsyncLitmus {
+            name: "test-A8".into(),
+            description: "a crash clears the buffer, so a post-crash barrier proves nothing"
+                .into(),
+            config: two,
+            trace: vec![
+                Label::lstore(M2, x(2), Val(1)).into(),
+                AsyncLabel::aflush(M2, x(2)),
+                Label::crash(M2).into(),
+                AsyncLabel::barrier(M2),
+                Label::load(M1, x(2), Val(0)).into(),
+            ],
+            expected: Verdict::Allowed,
+        },
+    ]
+}
+
+/// Checks the `AFlush;Barrier ≡ RFlush` equivalence exhaustively over the
+/// reachable states of a small two-machine system, for every issuer and
+/// location. Returns the first counterexample state, if any.
+pub fn check_aflush_barrier_equivalence() -> Option<String> {
+    let cfg = SystemConfig::symmetric_nvm(2, 1);
+    let sem = AsyncSemantics::new(cfg.clone());
+    let exp = AsyncExplorer::new(&sem);
+    let mut alphabet: Vec<AsyncLabel> = Vec::new();
+    for m in cfg.machines() {
+        for loc in cfg.all_locations() {
+            alphabet.push(Label::lstore(m, loc, Val(1)).into());
+            alphabet.push(AsyncLabel::aflush(m, loc));
+        }
+        alphabet.push(Label::crash(m).into());
+    }
+    let reachable = exp.reachable_states(&alphabet, 4_000);
+    for st in &reachable {
+        for m in cfg.machines() {
+            for loc in cfg.all_locations() {
+                let via_async = [AsyncLabel::aflush(m, loc), AsyncLabel::barrier(m)];
+                let via_sync = [Label::rflush(m, loc).into()];
+                let mut set = std::collections::BTreeSet::new();
+                set.insert(st.clone());
+                let ok = if st.pending_of(m).is_empty() {
+                    exp.same_outcomes(&set, &via_async, &via_sync)
+                } else {
+                    exp.simulates(&set, &via_async, &via_sync)
+                };
+                if !ok {
+                    return Some(format!(
+                        "equivalence fails for issuer {m}, loc {loc}, from state:\n{st}"
+                    ));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_async_litmus_tests_pass() {
+        for t in async_flush_tests() {
+            assert!(
+                t.passes(),
+                "{} expected {} observed {}",
+                t.name,
+                t.expected,
+                t.run()
+            );
+        }
+    }
+
+    #[test]
+    fn suite_has_eight_tests_with_unique_names() {
+        let tests = async_flush_tests();
+        assert_eq!(tests.len(), 8);
+        let mut names: Vec<_> = tests.iter().map(|t| t.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn aflush_barrier_equivalence_holds_exhaustively() {
+        assert_eq!(check_aflush_barrier_equivalence(), None);
+    }
+
+    #[test]
+    fn a2_with_barrier_removed_flips_to_allowed() {
+        // Sanity: the barrier is what makes A2 forbidden.
+        let mut t = async_flush_tests().swap_remove(1);
+        assert_eq!(t.name, "test-A2");
+        t.trace.retain(|l| !matches!(l, AsyncLabel::Barrier { .. }));
+        t.expected = Verdict::Allowed;
+        assert!(t.passes());
+    }
+}

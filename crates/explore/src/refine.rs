@@ -1,0 +1,196 @@
+//! Bounded trace-refinement checking between model variants — our
+//! replacement for the paper's FDR4/CSP analysis (§3.5).
+//!
+//! `impl ⊑ spec` (trace refinement) holds iff every visible trace of
+//! `impl` is a trace of `spec`. Because CXL0's visible labels are
+//! deterministic per state (loads carry their observed value), the
+//! determinized view of each model is a subset construction over τ-closed
+//! state sets; we explore the *product* of the two determinizations and
+//! report the first trace executable in `impl` but not in `spec`.
+//!
+//! The paper's claims, which the tests below and `tests/refinement.rs`
+//! verify mechanically:
+//!
+//! * `CXL0_PSN ⊑ CXL0` and `CXL0_LWB ⊑ CXL0` (every variant trace is a
+//!   base trace);
+//! * `CXL0 ⋢ CXL0_PSN` and `CXL0 ⋢ CXL0_LWB` (with tests 10–12 as
+//!   distinguishing traces);
+//! * `CXL0_PSN` and `CXL0_LWB` are incomparable.
+
+use std::collections::HashSet;
+
+use cxl0_model::{Label, Semantics, Trace};
+
+use crate::interp::{Explorer, StateSet};
+
+/// The outcome of a bounded refinement check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Refinement {
+    /// Every `impl` trace of length ≤ depth is a `spec` trace.
+    HoldsUpToDepth(usize),
+    /// A trace executable in `impl` but not in `spec`.
+    CounterExample(Trace),
+}
+
+impl Refinement {
+    /// True if no counterexample was found within the bound.
+    pub fn holds(&self) -> bool {
+        matches!(self, Refinement::HoldsUpToDepth(_))
+    }
+
+    /// The distinguishing trace, if any.
+    pub fn counterexample(&self) -> Option<&Trace> {
+        match self {
+            Refinement::CounterExample(t) => Some(t),
+            Refinement::HoldsUpToDepth(_) => None,
+        }
+    }
+}
+
+/// Checks `impl_sem ⊑ spec_sem` for traces up to `depth` labels drawn from
+/// `alphabet`, by product subset construction with memoization.
+///
+/// Both semantics must share the configuration (same machines/locations);
+/// this is the caller's responsibility — the usual use is two variants
+/// over one `SystemConfig`.
+pub fn check_refinement(
+    impl_sem: &Semantics,
+    spec_sem: &Semantics,
+    alphabet: &[Label],
+    depth: usize,
+) -> Refinement {
+    let impl_exp = Explorer::new(impl_sem);
+    let spec_exp = Explorer::new(spec_sem);
+
+    let start = (impl_exp.initial_set(), spec_exp.initial_set());
+    let mut visited: HashSet<(StateSet, StateSet)> = HashSet::new();
+    visited.insert(start.clone());
+    let mut frontier: Vec<(Trace, StateSet, StateSet)> =
+        vec![(Trace::new(), start.0, start.1)];
+
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for (trace, si, ss) in &frontier {
+            for label in alphabet {
+                let ni = impl_exp.after_label(si, label);
+                if ni.is_empty() {
+                    continue; // not an impl trace; nothing to check
+                }
+                let ns = spec_exp.after_label(ss, label);
+                if ns.is_empty() {
+                    return Refinement::CounterExample(trace.clone().then(*label));
+                }
+                if visited.insert((ni.clone(), ns.clone())) {
+                    next_frontier.push((trace.clone().then(*label), ni, ns));
+                }
+            }
+        }
+        if next_frontier.is_empty() {
+            // Fixpoint reached: refinement holds for *all* depths.
+            return Refinement::HoldsUpToDepth(usize::MAX);
+        }
+        frontier = next_frontier;
+    }
+    Refinement::HoldsUpToDepth(depth)
+}
+
+/// Finds a trace executable in `a` but not in `b` *and* a trace
+/// executable in `b` but not in `a`, demonstrating that the two models
+/// are incomparable; `None` in a component if no such trace exists within
+/// the bound.
+pub fn incomparability_witnesses(
+    a: &Semantics,
+    b: &Semantics,
+    alphabet: &[Label],
+    depth: usize,
+) -> (Option<Trace>, Option<Trace>) {
+    let a_not_b = match check_refinement(a, b, alphabet, depth) {
+        Refinement::CounterExample(t) => Some(t),
+        Refinement::HoldsUpToDepth(_) => None,
+    };
+    let b_not_a = match check_refinement(b, a, alphabet, depth) {
+        Refinement::CounterExample(t) => Some(t),
+        Refinement::HoldsUpToDepth(_) => None,
+    };
+    (a_not_b, b_not_a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::AlphabetBuilder;
+    use cxl0_model::{
+        MachineConfig, ModelVariant, Primitive, SystemConfig, Val,
+    };
+
+    /// Machine 0: NVMM; machine 1: volatile — the §3.5 configuration.
+    fn cfg() -> SystemConfig {
+        SystemConfig::new(vec![
+            MachineConfig::non_volatile(1),
+            MachineConfig::volatile(1),
+        ])
+    }
+
+    fn small_alphabet(cfg: &SystemConfig) -> Vec<Label> {
+        AlphabetBuilder::new(cfg)
+            .values([Val(0), Val(1)])
+            .primitives([
+                Primitive::LStore,
+                Primitive::RStore,
+                Primitive::Load,
+                Primitive::Crash,
+            ])
+            .build()
+    }
+
+    #[test]
+    fn variants_refine_base() {
+        let cfg = cfg();
+        let alphabet = small_alphabet(&cfg);
+        let base = Semantics::new(cfg.clone());
+        for v in [ModelVariant::Psn, ModelVariant::Lwb] {
+            let var = Semantics::with_variant(cfg.clone(), v);
+            let r = check_refinement(&var, &base, &alphabet, 5);
+            assert!(r.holds(), "{v} ⋢ CXL0: {:?}", r.counterexample());
+        }
+    }
+
+    #[test]
+    fn base_does_not_refine_variants() {
+        let cfg = cfg();
+        let alphabet = small_alphabet(&cfg);
+        let base = Semantics::new(cfg.clone());
+        for v in [ModelVariant::Psn, ModelVariant::Lwb] {
+            let var = Semantics::with_variant(cfg.clone(), v);
+            let r = check_refinement(&base, &var, &alphabet, 5);
+            assert!(!r.holds(), "CXL0 unexpectedly refines {v}");
+        }
+    }
+
+    #[test]
+    fn psn_and_lwb_are_incomparable() {
+        let cfg = cfg();
+        let alphabet = small_alphabet(&cfg);
+        let psn = Semantics::with_variant(cfg.clone(), ModelVariant::Psn);
+        let lwb = Semantics::with_variant(cfg.clone(), ModelVariant::Lwb);
+        let (p_not_l, l_not_p) = incomparability_witnesses(&psn, &lwb, &alphabet, 5);
+        assert!(
+            p_not_l.is_some(),
+            "expected a PSN trace that LWB forbids"
+        );
+        assert!(
+            l_not_p.is_some(),
+            "expected an LWB trace that PSN forbids"
+        );
+    }
+
+    #[test]
+    fn model_refines_itself_to_fixpoint() {
+        let cfg = cfg();
+        let alphabet = small_alphabet(&cfg);
+        let base = Semantics::new(cfg);
+        let r = check_refinement(&base, &base, &alphabet, 50);
+        // Self-refinement must reach the fixpoint, proving all depths.
+        assert_eq!(r, Refinement::HoldsUpToDepth(usize::MAX));
+    }
+}

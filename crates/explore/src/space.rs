@@ -1,0 +1,363 @@
+//! Bounded explicit-state exploration: enumerate every state reachable
+//! under a finite label alphabet, producing a graph that the Proposition-1
+//! checker, the refinement checker and the DOT exporter all consume.
+
+use std::collections::{BTreeSet, HashMap, VecDeque};
+
+use cxl0_model::{
+    Label, MachineId, Primitive, Semantics, SilentStep, State, StoreKind, SystemConfig, Val,
+};
+
+/// Builds the finite label alphabet used to drive exploration and
+/// refinement: every instantiation of the selected primitives over the
+/// configuration's machines, locations and a small value domain.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_explore::AlphabetBuilder;
+/// use cxl0_model::{SystemConfig, Primitive, Val};
+///
+/// let cfg = SystemConfig::symmetric_nvm(2, 1);
+/// let alphabet = AlphabetBuilder::new(&cfg)
+///     .values([Val(0), Val(1)])
+///     .primitives([Primitive::LStore, Primitive::Load, Primitive::Crash])
+///     .build();
+/// // 2 machines × 2 locs × 2 vals stores + same for loads + 2 crashes:
+/// assert_eq!(alphabet.len(), 2 * 2 * 2 + 2 * 2 * 2 + 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AlphabetBuilder {
+    cfg: SystemConfig,
+    values: Vec<Val>,
+    primitives: Vec<Primitive>,
+}
+
+impl AlphabetBuilder {
+    /// Starts a builder over `cfg` with values `{0, 1}` and every
+    /// primitive enabled.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        AlphabetBuilder {
+            cfg: cfg.clone(),
+            values: vec![Val(0), Val(1)],
+            primitives: Primitive::ISSUED
+                .iter()
+                .copied()
+                .chain([Primitive::Crash])
+                .collect(),
+        }
+    }
+
+    /// Replaces the value domain.
+    pub fn values<I: IntoIterator<Item = Val>>(mut self, vals: I) -> Self {
+        self.values = vals.into_iter().collect();
+        self
+    }
+
+    /// Replaces the primitive selection.
+    pub fn primitives<I: IntoIterator<Item = Primitive>>(mut self, prims: I) -> Self {
+        self.primitives = prims.into_iter().collect();
+        self
+    }
+
+    /// Generates the alphabet.
+    pub fn build(&self) -> Vec<Label> {
+        let mut out = Vec::new();
+        let machines: Vec<MachineId> = self.cfg.machines().collect();
+        let locs: Vec<_> = self.cfg.all_locations().collect();
+        for &p in &self.primitives {
+            match p {
+                Primitive::Load => {
+                    for &m in &machines {
+                        for &loc in &locs {
+                            for &v in &self.values {
+                                out.push(Label::load(m, loc, v));
+                            }
+                        }
+                    }
+                }
+                Primitive::LStore | Primitive::RStore | Primitive::MStore => {
+                    let kind = match p {
+                        Primitive::LStore => StoreKind::Local,
+                        Primitive::RStore => StoreKind::Remote,
+                        _ => StoreKind::Memory,
+                    };
+                    for &m in &machines {
+                        for &loc in &locs {
+                            for &v in &self.values {
+                                out.push(Label::store(kind, m, loc, v));
+                            }
+                        }
+                    }
+                }
+                Primitive::LFlush => {
+                    for &m in &machines {
+                        for &loc in &locs {
+                            out.push(Label::lflush(m, loc));
+                        }
+                    }
+                }
+                Primitive::RFlush => {
+                    for &m in &machines {
+                        for &loc in &locs {
+                            out.push(Label::rflush(m, loc));
+                        }
+                    }
+                }
+                Primitive::Gpf => {
+                    for &m in &machines {
+                        out.push(Label::gpf(m));
+                    }
+                }
+                Primitive::LRmw | Primitive::RRmw | Primitive::MRmw => {
+                    let kind = match p {
+                        Primitive::LRmw => StoreKind::Local,
+                        Primitive::RRmw => StoreKind::Remote,
+                        _ => StoreKind::Memory,
+                    };
+                    for &m in &machines {
+                        for &loc in &locs {
+                            for &old in &self.values {
+                                for &new in &self.values {
+                                    out.push(Label::rmw(kind, m, loc, old, new));
+                                }
+                            }
+                        }
+                    }
+                }
+                Primitive::Crash => {
+                    for &m in &machines {
+                        out.push(Label::crash(m));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An edge of the explored transition graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edge {
+    /// A visible transition.
+    Visible(Label),
+    /// A silent propagation step.
+    Silent(SilentStep),
+}
+
+/// The graph of all states reachable from the initial state under a label
+/// alphabet (plus silent steps), up to optional limits.
+#[derive(Debug, Clone)]
+pub struct ReachableGraph {
+    /// Deduplicated states; index 0 is the initial state.
+    pub states: Vec<State>,
+    /// Edges as `(from_index, edge, to_index)`.
+    pub edges: Vec<(usize, Edge, usize)>,
+    /// True if exploration stopped because a limit was hit.
+    pub truncated: bool,
+}
+
+impl ReachableGraph {
+    /// Number of distinct states discovered.
+    pub fn num_states(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges discovered.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+}
+
+/// Explores the reachable state space breadth-first.
+///
+/// `max_states` bounds the number of distinct states (the graph is marked
+/// [`ReachableGraph::truncated`] if the bound is hit).
+pub fn explore(sem: &Semantics, alphabet: &[Label], max_states: usize) -> ReachableGraph {
+    let init = sem.initial_state();
+    let mut index: HashMap<State, usize> = HashMap::new();
+    let mut states = vec![init.clone()];
+    index.insert(init.clone(), 0);
+    let mut edges = Vec::new();
+    let mut queue = VecDeque::new();
+    queue.push_back(0usize);
+    let mut truncated = false;
+
+    while let Some(i) = queue.pop_front() {
+        let st = states[i].clone();
+        // Silent successors.
+        for step in sem.silent_steps(&st) {
+            let next = sem
+                .apply_silent(&st, &step)
+                .expect("enumerated silent step must be enabled");
+            let j = intern(&mut index, &mut states, &mut queue, next, max_states);
+            match j {
+                Some(j) => edges.push((i, Edge::Silent(step), j)),
+                None => truncated = true,
+            }
+        }
+        // Visible successors.
+        for label in alphabet {
+            if let Ok(next) = sem.apply(&st, label) {
+                let j = intern(&mut index, &mut states, &mut queue, next, max_states);
+                match j {
+                    Some(j) => edges.push((i, Edge::Visible(*label), j)),
+                    None => truncated = true,
+                }
+            }
+        }
+    }
+
+    ReachableGraph {
+        states,
+        edges,
+        truncated,
+    }
+}
+
+fn intern(
+    index: &mut HashMap<State, usize>,
+    states: &mut Vec<State>,
+    queue: &mut VecDeque<usize>,
+    st: State,
+    max_states: usize,
+) -> Option<usize> {
+    if let Some(&j) = index.get(&st) {
+        return Some(j);
+    }
+    if states.len() >= max_states {
+        return None;
+    }
+    let j = states.len();
+    states.push(st.clone());
+    index.insert(st, j);
+    queue.push_back(j);
+    Some(j)
+}
+
+/// Convenience: the deduplicated set of reachable states.
+pub fn reachable_states(sem: &Semantics, alphabet: &[Label], max_states: usize) -> Vec<State> {
+    explore(sem, alphabet, max_states).states
+}
+
+/// Checks that the global cache invariant holds in every reachable state.
+///
+/// # Errors
+///
+/// Returns the first violating state (pretty-printed).
+pub fn check_invariant_everywhere(
+    sem: &Semantics,
+    alphabet: &[Label],
+    max_states: usize,
+) -> Result<usize, String> {
+    let graph = explore(sem, alphabet, max_states);
+    for st in &graph.states {
+        st.check_invariant()
+            .map_err(|e| format!("{e}\nin state:\n{st}"))?;
+    }
+    Ok(graph.num_states())
+}
+
+/// The set of visible traces of length ≤ `depth`, as label sequences.
+/// Exponential; only usable for tiny alphabets — intended for
+/// cross-checking the refinement checker.
+pub fn bounded_traces(sem: &Semantics, alphabet: &[Label], depth: usize) -> BTreeSet<Vec<Label>> {
+    use crate::interp::{Explorer, StateSet};
+    let exp = Explorer::new(sem);
+    let mut out = BTreeSet::new();
+    let mut frontier: Vec<(Vec<Label>, StateSet)> = vec![(Vec::new(), exp.initial_set())];
+    out.insert(Vec::new());
+    for _ in 0..depth {
+        let mut next_frontier = Vec::new();
+        for (trace, set) in &frontier {
+            for label in alphabet {
+                let next = exp.after_label(set, label);
+                if !next.is_empty() {
+                    let mut t = trace.clone();
+                    t.push(*label);
+                    if out.insert(t.clone()) {
+                        next_frontier.push((t, next));
+                    }
+                }
+            }
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alphabet_counts_for_full_default() {
+        let cfg = SystemConfig::symmetric_nvm(2, 1);
+        let alphabet = AlphabetBuilder::new(&cfg).build();
+        // loads 2*2*2=8, stores 3*8=24, flushes 2*2*2=8, gpf 2, rmw 3*2*2*4=48, crash 2.
+        assert_eq!(alphabet.len(), 8 + 24 + 8 + 2 + 48 + 2);
+    }
+
+    #[test]
+    fn exploration_small_system_is_exhaustive() {
+        let cfg = SystemConfig::symmetric_nvm(1, 1);
+        let sem = Semantics::new(cfg.clone());
+        let alphabet = AlphabetBuilder::new(&cfg)
+            .primitives([
+                Primitive::LStore,
+                Primitive::MStore,
+                Primitive::Load,
+                Primitive::Crash,
+            ])
+            .build();
+        let graph = explore(&sem, &alphabet, 10_000);
+        assert!(!graph.truncated);
+        // 1 machine, 1 loc, vals {0,1}: cache ∈ {⊥,0,1} × mem ∈ {0,1} = 6 states,
+        // all reachable.
+        assert_eq!(graph.num_states(), 6);
+        assert!(graph.num_edges() > 0);
+    }
+
+    #[test]
+    fn invariant_holds_everywhere_small() {
+        let cfg = SystemConfig::symmetric_nvm(2, 1);
+        let sem = Semantics::new(cfg.clone());
+        let alphabet = AlphabetBuilder::new(&cfg).build();
+        let n = check_invariant_everywhere(&sem, &alphabet, 100_000).unwrap();
+        assert!(n > 10);
+    }
+
+    #[test]
+    fn truncation_is_flagged() {
+        let cfg = SystemConfig::symmetric_nvm(2, 2);
+        let sem = Semantics::new(cfg.clone());
+        let alphabet = AlphabetBuilder::new(&cfg).build();
+        let graph = explore(&sem, &alphabet, 5);
+        assert!(graph.truncated);
+        assert_eq!(graph.num_states(), 5);
+    }
+
+    #[test]
+    fn bounded_traces_contains_empty_and_grows() {
+        let cfg = SystemConfig::symmetric_nvm(1, 1);
+        let sem = Semantics::new(cfg.clone());
+        let alphabet = AlphabetBuilder::new(&cfg)
+            .primitives([Primitive::MStore, Primitive::Load])
+            .values([Val(1)])
+            .build();
+        let t0 = bounded_traces(&sem, &alphabet, 0);
+        assert_eq!(t0.len(), 1);
+        let t2 = bounded_traces(&sem, &alphabet, 2);
+        assert!(t2.len() > 1);
+        // A Load(x,1) alone is not executable (initial value is 0):
+        let load1 = vec![alphabet
+            .iter()
+            .copied()
+            .find(|l| matches!(l, Label::Load { .. }))
+            .unwrap()];
+        assert!(!t2.contains(&load1));
+    }
+}

@@ -1,0 +1,107 @@
+//! Latency parameters of the simulated fabric.
+//!
+//! The defaults are calibrated so that the *shape* of Figure 5 emerges
+//! from the transaction decomposition (see `sim.rs`): local ≈ 2× faster
+//! than remote (host 2.34×, device 1.94×), device-to-HM
+//! `LStore < RStore < MStore` with ratios ≈ 1 : 2.08 : 3.0, and
+//! `RFlush ≈ MStore`. Absolute values are in nanoseconds and sit in the
+//! range the paper reports for its CXL 1.1 testbed.
+
+/// Nanosecond cost parameters for every component on an access path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyConfig {
+    /// Host cache hierarchy lookup (miss detection).
+    pub host_cache_lookup: u64,
+    /// Host DRAM read (row access + transfer).
+    pub host_dram_read: u64,
+    /// Host DRAM write.
+    pub host_dram_write: u64,
+    /// Host store buffer absorption (an `LStore` completes here).
+    pub host_write_buffer: u64,
+    /// Host fence/drain cost appended to non-temporal stores.
+    pub host_fence: u64,
+    /// One-way CXL link traversal (flit propagation + SerDes).
+    pub link_hop: u64,
+    /// Link serialization per message (bandwidth term).
+    pub link_serialize: u64,
+    /// Device cache lookup/insert for lines targeting host memory (the
+    /// Intel IP uses a larger, slower cache for HM than for HDM).
+    pub device_cache_hm: u64,
+    /// Device cache lookup/insert for HDM-targeting lines.
+    pub device_cache_hdm: u64,
+    /// AXI request/response overhead between device logic and CXL IP.
+    pub device_axi: u64,
+    /// Device-attached memory read.
+    pub device_mem_read: u64,
+    /// Device-attached memory write.
+    pub device_mem_write: u64,
+    /// Host-side coherence engine processing a D2H request (snoop filter
+    /// lookup, ownership bookkeeping).
+    pub host_coherence: u64,
+    /// Device-side processing of an H2D snoop / M2S request.
+    pub device_coherence: u64,
+    /// Extra cost for resolving host-bias ownership of an HDM line.
+    pub bias_check: u64,
+    /// Device-side bias-table lookup paid by every device access to HDM.
+    pub bias_table_lookup: u64,
+    /// Uniform jitter amplitude (± ns) applied per measurement.
+    pub jitter: u64,
+}
+
+impl LatencyConfig {
+    /// The calibrated testbed defaults (see module docs).
+    pub fn testbed() -> Self {
+        LatencyConfig {
+            host_cache_lookup: 28,
+            host_dram_read: 82,
+            host_dram_write: 62,
+            host_write_buffer: 12,
+            host_fence: 28,
+            link_hop: 48,
+            link_serialize: 6,
+            device_cache_hm: 52,
+            device_cache_hdm: 36,
+            device_axi: 18,
+            device_mem_read: 62,
+            device_mem_write: 54,
+            host_coherence: 26,
+            device_coherence: 22,
+            bias_check: 30,
+            bias_table_lookup: 8,
+            jitter: 6,
+        }
+    }
+
+    /// A zero-jitter copy (deterministic medians for tests).
+    pub fn without_jitter(mut self) -> Self {
+        self.jitter = 0;
+        self
+    }
+}
+
+impl Default for LatencyConfig {
+    fn default() -> Self {
+        LatencyConfig::testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive_and_ordered() {
+        let c = LatencyConfig::testbed();
+        assert!(c.host_write_buffer < c.host_cache_lookup);
+        assert!(c.host_cache_lookup < c.host_dram_read);
+        assert!(c.device_cache_hdm < c.device_cache_hm);
+        assert!(c.link_hop > 0);
+    }
+
+    #[test]
+    fn without_jitter_zeroes_only_jitter() {
+        let c = LatencyConfig::testbed().without_jitter();
+        assert_eq!(c.jitter, 0);
+        assert_eq!(c.link_hop, LatencyConfig::testbed().link_hop);
+    }
+}

@@ -1,0 +1,46 @@
+//! # `cxl0-fabric` — discrete-event CXL fabric latency simulation
+//!
+//! The paper's §5.2 measures the latency of each CXL0 primitive on a real
+//! x86 + FPGA CXL 1.1 testbed (Figure 5). This crate substitutes a
+//! simulator: every primitive is decomposed into the *same* link
+//! transactions the `cxl0-protocol` engine generates for it, and each
+//! transaction is costed on a parameterized link/cache/memory model
+//! ([`LatencyConfig`]).
+//!
+//! * [`latency`] — the nanosecond cost parameters, calibrated to Figure
+//!   5's reported *ratios* (local ≈ 2× remote; device `LStore` <
+//!   `RStore` < `MStore` at ≈ 1 : 2.1 : 3; `RFlush` ≈ `MStore`);
+//! * [`sim`] — per-primitive completion latency over the five access
+//!   paths of Figure 5;
+//! * [`measure`] — the Figure-5 sweep (median of `n` accesses, "not
+//!   measurable" cells included);
+//! * [`event`] / [`contention`] — a discrete-event engine and a
+//!   link-contention extension beyond the paper's isolated measurements.
+//!
+//! ## Example
+//!
+//! ```
+//! use cxl0_fabric::{run_figure5, LatencyConfig, AccessPath};
+//! use cxl0_protocol::CxlOp;
+//!
+//! let fig = run_figure5(&LatencyConfig::testbed(), 1000, 42);
+//! let local = fig.median(AccessPath::HostToHm, CxlOp::Read).unwrap();
+//! let remote = fig.median(AccessPath::HostToHdm, CxlOp::Read).unwrap();
+//! assert!(remote > 2 * local); // the paper's 2.34× shape
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod contention;
+pub mod event;
+pub mod latency;
+pub mod measure;
+pub mod sim;
+
+pub use contention::{contention_sweep, run_contention, ContentionPoint};
+pub use event::{Event, EventQueue, SharedLink};
+pub use latency::LatencyConfig;
+pub use measure::{run_figure5, Figure5, SeriesStats};
+pub use sim::{AccessPath, FabricSim};

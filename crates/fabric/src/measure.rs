@@ -1,0 +1,205 @@
+//! The Figure-5 measurement harness: for every `(access path, primitive)`
+//! combination, run `n` isolated accesses and report the median — the
+//! same methodology as §5.2 (1000 sequential accesses, median reported),
+//! with "not measurable" entries for the primitives Table 1 marks `???`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use cxl0_protocol::CxlOp;
+
+use crate::latency::LatencyConfig;
+use crate::sim::{AccessPath, FabricSim};
+
+/// Summary statistics of one measurement series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesStats {
+    /// Median latency (ns).
+    pub median: u64,
+    /// 25th percentile.
+    pub p25: u64,
+    /// 75th percentile.
+    pub p75: u64,
+    /// Minimum observed.
+    pub min: u64,
+    /// Maximum observed.
+    pub max: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+impl SeriesStats {
+    /// Computes stats from raw samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples` is empty.
+    pub fn from_samples(mut samples: Vec<u64>) -> Self {
+        assert!(!samples.is_empty(), "need at least one sample");
+        samples.sort_unstable();
+        let n = samples.len();
+        SeriesStats {
+            median: samples[n / 2],
+            p25: samples[n / 4],
+            p75: samples[(3 * n) / 4],
+            min: samples[0],
+            max: samples[n - 1],
+            samples: n,
+        }
+    }
+}
+
+/// The regenerated Figure 5: median latency of each CXL0 primitive over
+/// each access path (`None` = not measurable).
+#[derive(Debug, Clone)]
+pub struct Figure5 {
+    /// Stats per `(path, primitive)`.
+    pub entries: BTreeMap<(AccessPath, CxlOp), Option<SeriesStats>>,
+    /// Samples per series.
+    pub iterations: usize,
+}
+
+/// Runs the full Figure-5 sweep: `iterations` accesses per combination.
+pub fn run_figure5(cfg: &LatencyConfig, iterations: usize, seed: u64) -> Figure5 {
+    let mut entries = BTreeMap::new();
+    for (i, path) in AccessPath::ALL.into_iter().enumerate() {
+        for (j, op) in CxlOp::ALL.into_iter().enumerate() {
+            let mut sim = FabricSim::new(cfg.clone(), seed ^ ((i as u64) << 32) ^ j as u64);
+            let mut samples = Vec::with_capacity(iterations);
+            for _ in 0..iterations {
+                match sim.access(op, path) {
+                    Some(ns) => samples.push(ns),
+                    None => break,
+                }
+            }
+            let stats = if samples.is_empty() {
+                None
+            } else {
+                Some(SeriesStats::from_samples(samples))
+            };
+            entries.insert((path, op), stats);
+        }
+    }
+    Figure5 {
+        entries,
+        iterations,
+    }
+}
+
+impl Figure5 {
+    /// The median for one combination (`None` = not measurable).
+    pub fn median(&self, path: AccessPath, op: CxlOp) -> Option<u64> {
+        self.entries.get(&(path, op)).copied().flatten().map(|s| s.median)
+    }
+
+    /// Number of "not measurable" combinations (the paper's figure shows
+    /// seven).
+    pub fn not_measurable(&self) -> usize {
+        self.entries.values().filter(|v| v.is_none()).count()
+    }
+
+    /// Renders the figure as a table: rows = primitives, columns = paths.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "Figure 5: Latency of CXL0 primitives on host and device (median ns, {} samples)",
+            self.iterations
+        );
+        let _ = write!(out, "  {:<8}", "");
+        for path in AccessPath::ALL {
+            let _ = write!(out, " | {:<28}", path.label());
+        }
+        let _ = writeln!(out);
+        let _ = write!(out, "  {:-<8}", "");
+        for _ in AccessPath::ALL {
+            let _ = write!(out, "-+-{:-<28}", "");
+        }
+        let _ = writeln!(out);
+        for op in CxlOp::ALL {
+            let _ = write!(out, "  {:<8}", op.to_string());
+            for path in AccessPath::ALL {
+                match self.median(path, op) {
+                    Some(ns) => {
+                        let _ = write!(out, " | {:<28}", format!("{ns} ns"));
+                    }
+                    None => {
+                        let _ = write!(out, " | {:<28}", "not measurable");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Figure5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_text())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_stats_on_known_data() {
+        let s = SeriesStats::from_samples(vec![5, 1, 3, 2, 4]);
+        assert_eq!(s.median, 3);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 5);
+        assert_eq!(s.p25, 2);
+        assert_eq!(s.p75, 4);
+        assert_eq!(s.samples, 5);
+    }
+
+    #[test]
+    fn figure5_has_seven_not_measurable_cells() {
+        let fig = run_figure5(&LatencyConfig::testbed(), 100, 42);
+        // Host RStore/LFlush on both paths (4) + device LFlush on three
+        // paths (3) = 7, as in the paper's figure.
+        assert_eq!(fig.not_measurable(), 7);
+    }
+
+    #[test]
+    fn figure5_medians_are_deterministic_given_seed() {
+        let a = run_figure5(&LatencyConfig::testbed(), 200, 1);
+        let b = run_figure5(&LatencyConfig::testbed(), 200, 1);
+        for (k, v) in &a.entries {
+            assert_eq!(v.as_ref().map(|s| s.median), b.entries[k].as_ref().map(|s| s.median));
+        }
+    }
+
+    #[test]
+    fn figure5_text_mentions_all_paths() {
+        let fig = run_figure5(&LatencyConfig::testbed(), 50, 3);
+        let text = fig.to_text();
+        for path in AccessPath::ALL {
+            assert!(text.contains(path.label()), "{}", path.label());
+        }
+        assert!(text.contains("not measurable"));
+    }
+
+    #[test]
+    fn medians_track_deterministic_values() {
+        let cfg = LatencyConfig::testbed();
+        let fig = run_figure5(&cfg, 1001, 9);
+        let sim = FabricSim::new(cfg.without_jitter(), 0);
+        for path in AccessPath::ALL {
+            for op in CxlOp::ALL {
+                let det = sim.access_deterministic(op, path);
+                let med = fig.median(path, op);
+                match (det, med) {
+                    (Some(d), Some(m)) => {
+                        assert!(m.abs_diff(d) <= 6, "{path:?} {op}: {m} vs {d}")
+                    }
+                    (None, None) => {}
+                    other => panic!("availability mismatch {path:?} {op}: {other:?}"),
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,383 @@
+//! The fabric latency simulator: each CXL0 primitive is decomposed into
+//! its intrinsic node-side costs plus the link transactions the
+//! `cxl0-protocol` engine generates for it, and each transaction is
+//! costed on the simulated link and target device.
+//!
+//! Completion semantics follow CXL0's definitions (§3.2): an `LStore`
+//! completes at the issuer's cache/write buffer (its coherence traffic is
+//! posted in the background), an `RStore` completes when the line lands
+//! in the owner's cache, an `MStore`/`RFlush` completes only after the
+//! memory write is acknowledged, and a `Read` completes at data return.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use cxl0_protocol::{
+    perform, CachePair, CxlOp, DeviceMStoreStrategy, MemTarget, MesiState, Node, Transaction,
+};
+
+use crate::latency::LatencyConfig;
+
+/// The five access paths of Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AccessPath {
+    /// Host → host-attached memory (local).
+    HostToHm,
+    /// Host → host-managed device memory (remote, host-bias).
+    HostToHdm,
+    /// Device → host-attached memory (remote).
+    DeviceToHm,
+    /// Device → HDM in host-bias (local data, but host arbitrates).
+    DeviceToHdmHostBias,
+    /// Device → HDM in device-bias (fully local).
+    DeviceToHdmDeviceBias,
+}
+
+impl AccessPath {
+    /// All five paths in Figure-5 legend order.
+    pub const ALL: [AccessPath; 5] = [
+        AccessPath::HostToHm,
+        AccessPath::HostToHdm,
+        AccessPath::DeviceToHm,
+        AccessPath::DeviceToHdmHostBias,
+        AccessPath::DeviceToHdmDeviceBias,
+    ];
+
+    /// The issuing node.
+    pub fn node(self) -> Node {
+        match self {
+            AccessPath::HostToHm | AccessPath::HostToHdm => Node::Host,
+            _ => Node::Device,
+        }
+    }
+
+    /// The memory targeted.
+    pub fn target(self) -> MemTarget {
+        match self {
+            AccessPath::HostToHm | AccessPath::DeviceToHm => MemTarget::HostMemory,
+            _ => MemTarget::DeviceMemory,
+        }
+    }
+
+    /// The Figure-5 legend label.
+    pub fn label(self) -> &'static str {
+        match self {
+            AccessPath::HostToHm => "Host to Host-attached Memory",
+            AccessPath::HostToHdm => "Host to HDM",
+            AccessPath::DeviceToHm => "Device to Host-attached Memory",
+            AccessPath::DeviceToHdmHostBias => "Device to HDM in Host-Bias",
+            AccessPath::DeviceToHdmDeviceBias => "Device to HDM in Device-Bias",
+        }
+    }
+}
+
+/// A single-requester latency simulator.
+#[derive(Debug)]
+pub struct FabricSim {
+    cfg: LatencyConfig,
+    rng: StdRng,
+    mstore_strategy: DeviceMStoreStrategy,
+}
+
+impl FabricSim {
+    /// Creates a simulator with the given parameters and RNG seed (the
+    /// seed drives measurement jitter only). The device's `MStore`
+    /// instruction variant defaults to the weakly-ordered full-line
+    /// write-invalidate, which is what §5.2's full-cache-line store
+    /// measurement exercises; see [`FabricSim::set_mstore_strategy`].
+    pub fn new(cfg: LatencyConfig, seed: u64) -> Self {
+        FabricSim {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            mstore_strategy: DeviceMStoreStrategy::WeakOrderedWriteInv,
+        }
+    }
+
+    /// The configured latencies.
+    pub fn config(&self) -> &LatencyConfig {
+        &self.cfg
+    }
+
+    /// Selects the device `MStore` instruction variant (an ablation axis:
+    /// the caching-write-plus-flush path costs an extra ownership round
+    /// trip from invalid lines).
+    pub fn set_mstore_strategy(&mut self, strategy: DeviceMStoreStrategy) {
+        self.mstore_strategy = strategy;
+    }
+
+    /// One isolated access per §5.2's methodology: loads start from
+    /// globally-invalid lines, stores write full lines, flushes target a
+    /// line the issuer holds modified. Returns the completion latency in
+    /// ns, or `None` for unavailable primitives (`???` in Table 1).
+    pub fn access(&mut self, op: CxlOp, path: AccessPath) -> Option<u64> {
+        let base = self.access_deterministic(op, path)?;
+        let j = self.cfg.jitter;
+        let noisy = if j == 0 {
+            base
+        } else {
+            base + self.rng.gen_range(0..=2 * j) - j
+        };
+        Some(noisy.max(1))
+    }
+
+    /// The deterministic (jitter-free) latency of one isolated access.
+    pub fn access_deterministic(&self, op: CxlOp, path: AccessPath) -> Option<u64> {
+        match path.node() {
+            Node::Host => self.host_access(op, path),
+            Node::Device => self.device_access(op, path),
+        }
+    }
+
+    fn host_access(&self, op: CxlOp, path: AccessPath) -> Option<u64> {
+        let c = &self.cfg;
+        let target = path.target();
+        // Measurement-prep state per §5.2: loads/stores from invalid
+        // lines, flushes from a host-modified line.
+        let st = match op {
+            CxlOp::RFlush => CachePair::new(MesiState::M, MesiState::I),
+            _ => CachePair::invalid(),
+        };
+        let outcome = perform(Node::Host, op, target, st, self.mstore_strategy)?;
+        let mut ns = match op {
+            // An LStore completes in the store buffer; its coherence
+            // traffic is posted in the background.
+            CxlOp::LStore => return Some(c.host_write_buffer),
+            // NT stores and CLFlush drain through the fence.
+            CxlOp::MStore | CxlOp::RFlush => c.host_cache_lookup + c.host_fence,
+            _ => c.host_cache_lookup,
+        };
+        for t in &outcome.transactions {
+            ns += self.transaction_cost(Node::Host, target, op, *t);
+        }
+        // Local memory access for HM targets (no link transaction).
+        if target == MemTarget::HostMemory {
+            match op {
+                CxlOp::Read => ns += c.host_dram_read,
+                CxlOp::MStore | CxlOp::RFlush => ns += c.host_dram_write,
+                _ => {}
+            }
+        }
+        Some(ns)
+    }
+
+    fn device_access(&self, op: CxlOp, path: AccessPath) -> Option<u64> {
+        let c = &self.cfg;
+        let target = path.target();
+        if op == CxlOp::LFlush {
+            return None; // ??? in Table 1
+        }
+        // Every device access to HDM consults the bias table.
+        let bias = if target == MemTarget::DeviceMemory {
+            c.bias_table_lookup
+        } else {
+            0
+        };
+        let cache = if target == MemTarget::HostMemory {
+            c.device_cache_hm
+        } else {
+            c.device_cache_hdm
+        };
+
+        if path == AccessPath::DeviceToHdmDeviceBias {
+            // Device-bias: no host involvement, no link transactions.
+            return Some(match op {
+                CxlOp::Read => cache + c.device_axi + bias + c.device_mem_read,
+                // Owner stores complete in the device cache.
+                CxlOp::LStore | CxlOp::RStore => cache + c.device_axi + bias,
+                CxlOp::MStore | CxlOp::RFlush => c.device_axi + bias + c.device_mem_write,
+                CxlOp::LFlush => unreachable!(),
+            });
+        }
+
+        let st = match op {
+            CxlOp::RFlush => CachePair::new(MesiState::I, MesiState::M),
+            _ => CachePair::invalid(),
+        };
+        let outcome = perform(Node::Device, op, target, st, self.mstore_strategy)?;
+
+        // Intrinsic device-side cost: allocating ops (reads, caching
+        // writes, owner stores) go through the IP's cache;
+        // write-invalidate/evict flows bypass it.
+        let allocating = matches!(op, CxlOp::Read | CxlOp::LStore)
+            || (op == CxlOp::RStore && target == MemTarget::DeviceMemory);
+        let mut ns = if allocating {
+            cache + c.device_axi + bias
+        } else {
+            c.device_axi + bias
+        };
+
+        // Which transactions the completion waits for: an LStore's
+        // ownership traffic is posted; an owner-RStore (to HDM) completes
+        // in the device cache like an LStore.
+        let posted = matches!(op, CxlOp::LStore)
+            || (op == CxlOp::RStore && target == MemTarget::DeviceMemory);
+        if !posted {
+            for t in &outcome.transactions {
+                ns += self.transaction_cost(Node::Device, target, op, *t);
+            }
+        }
+
+        // Writes/flushes to the device's own memory end with a local
+        // memory write; host-bias additionally pays the ownership check.
+        if target == MemTarget::DeviceMemory && matches!(op, CxlOp::MStore | CxlOp::RFlush) {
+            ns += c.device_mem_write + c.bias_check;
+        }
+        Some(ns)
+    }
+
+    /// The completion-path cost of one link transaction.
+    fn transaction_cost(&self, node: Node, target: MemTarget, op: CxlOp, t: Transaction) -> u64 {
+        let c = &self.cfg;
+        let one_way = c.link_hop + c.link_serialize;
+        let rt = 2 * one_way;
+        match t {
+            // Invalidating snoops are posted for stores/flushes (the
+            // issuer does not wait); a read that snoops must wait for the
+            // response before using the data.
+            Transaction::CacheH2D(_) => {
+                if op == CxlOp::Read {
+                    rt + c.device_coherence
+                } else {
+                    0
+                }
+            }
+            Transaction::CacheD2H(d2h) => {
+                use cxl0_protocol::D2HReq::*;
+                let data = match target {
+                    MemTarget::HostMemory => c.host_dram_read,
+                    MemTarget::DeviceMemory => c.device_mem_read,
+                };
+                match d2h {
+                    RdShared => rt + c.host_coherence + data,
+                    RdOwn => rt + c.host_coherence,
+                    ItoMWr => rt + c.host_coherence,
+                    CleanEvict => rt + c.host_coherence,
+                    DirtyEvict | WOWrInvF | WrInv => rt + c.host_coherence + c.host_dram_write,
+                }
+            }
+            Transaction::MemM2S(m2s) => {
+                use cxl0_protocol::M2SReq::*;
+                match m2s {
+                    MemRdData | MemRd => {
+                        rt + c.device_coherence + c.device_axi + c.device_mem_read
+                    }
+                    // Writing into device-owned memory from the host also
+                    // updates the host-bias ownership tracking.
+                    MemWr if node == Node::Host => {
+                        rt + c.bias_check + c.device_coherence + c.device_axi
+                            + c.device_mem_write
+                    }
+                    MemWr => rt + c.device_coherence + c.device_axi + c.device_mem_write,
+                    MemInv => rt + c.device_coherence,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim() -> FabricSim {
+        FabricSim::new(LatencyConfig::testbed().without_jitter(), 1)
+    }
+
+    fn lat(op: CxlOp, path: AccessPath) -> u64 {
+        sim().access_deterministic(op, path).unwrap()
+    }
+
+    #[test]
+    fn unavailable_primitives_return_none() {
+        let mut s = sim();
+        for path in AccessPath::ALL {
+            assert!(s.access(CxlOp::LFlush, path).is_none(), "{path:?}");
+        }
+        assert!(s.access(CxlOp::RStore, AccessPath::HostToHm).is_none());
+        assert!(s.access(CxlOp::RStore, AccessPath::HostToHdm).is_none());
+    }
+
+    #[test]
+    fn host_remote_read_ratio_near_paper() {
+        let local = lat(CxlOp::Read, AccessPath::HostToHm) as f64;
+        let remote = lat(CxlOp::Read, AccessPath::HostToHdm) as f64;
+        let ratio = remote / local;
+        assert!((2.0..2.7).contains(&ratio), "host read ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn device_remote_read_ratio_near_paper() {
+        let local = lat(CxlOp::Read, AccessPath::DeviceToHdmDeviceBias) as f64;
+        let remote = lat(CxlOp::Read, AccessPath::DeviceToHm) as f64;
+        let ratio = remote / local;
+        assert!((1.6..2.4).contains(&ratio), "device read ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn host_and_device_remote_reads_similar() {
+        let h = lat(CxlOp::Read, AccessPath::HostToHdm) as f64;
+        let d = lat(CxlOp::Read, AccessPath::DeviceToHm) as f64;
+        let ratio = h.max(d) / h.min(d);
+        assert!(ratio < 1.25, "remote read asymmetry {ratio:.2}");
+    }
+
+    #[test]
+    fn device_to_hm_store_ladder() {
+        let ls = lat(CxlOp::LStore, AccessPath::DeviceToHm) as f64;
+        let rs = lat(CxlOp::RStore, AccessPath::DeviceToHm) as f64;
+        let ms = lat(CxlOp::MStore, AccessPath::DeviceToHm) as f64;
+        let r1 = rs / ls;
+        let r2 = ms / rs;
+        assert!((1.7..2.5).contains(&r1), "RStore/LStore {r1:.2}");
+        assert!((1.2..1.7).contains(&r2), "MStore/RStore {r2:.2}");
+    }
+
+    #[test]
+    fn rflush_tracks_mstore() {
+        for path in AccessPath::ALL {
+            let ms = lat(CxlOp::MStore, path) as f64;
+            let rf = lat(CxlOp::RFlush, path) as f64;
+            let ratio = ms.max(rf) / ms.min(rf);
+            assert!(ratio < 1.2, "{path:?}: MStore {ms} vs RFlush {rf}");
+        }
+    }
+
+    #[test]
+    fn host_lstore_hits_write_buffer() {
+        let wb = LatencyConfig::testbed().host_write_buffer;
+        assert_eq!(lat(CxlOp::LStore, AccessPath::HostToHm), wb);
+        assert_eq!(lat(CxlOp::LStore, AccessPath::HostToHdm), wb);
+    }
+
+    #[test]
+    fn host_mstore_remote_ratio_near_paper() {
+        let local = lat(CxlOp::MStore, AccessPath::HostToHm) as f64;
+        let remote = lat(CxlOp::MStore, AccessPath::HostToHdm) as f64;
+        let ratio = remote / local;
+        assert!((2.0..2.7).contains(&ratio), "host MStore ratio {ratio:.2}");
+    }
+
+    #[test]
+    fn device_bias_lstore_faster_than_hm_lstore() {
+        // Figure 5: green LStore (HM cache) slower than purple/orange.
+        let hm = lat(CxlOp::LStore, AccessPath::DeviceToHm);
+        let hb = lat(CxlOp::LStore, AccessPath::DeviceToHdmHostBias);
+        let db = lat(CxlOp::LStore, AccessPath::DeviceToHdmDeviceBias);
+        assert!(hb < hm);
+        assert!(db < hm);
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let cfg = LatencyConfig::testbed();
+        let mut a = FabricSim::new(cfg.clone(), 7);
+        let mut b = FabricSim::new(cfg.clone(), 7);
+        let base = a.access_deterministic(CxlOp::Read, AccessPath::HostToHm).unwrap();
+        for _ in 0..100 {
+            let x = a.access(CxlOp::Read, AccessPath::HostToHm).unwrap();
+            let y = b.access(CxlOp::Read, AccessPath::HostToHm).unwrap();
+            assert_eq!(x, y, "same seed, same sequence");
+            assert!(x.abs_diff(base) <= cfg.jitter);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Identifier newtypes used throughout the model: machines, addresses,
+//! locations and values.
+//!
+//! The paper assumes `N` machines whose location sets `Loc_1 .. Loc_N` are
+//! pairwise disjoint. We encode a location as an *(owner, address)* pair,
+//! which makes disjointness structural: two locations with different owners
+//! can never alias.
+
+use std::fmt;
+
+/// Identifier of a machine (a CXL Type-2 node: host, device, or memory node).
+///
+/// Machines are numbered densely from `0` to `N-1` within a
+/// [`SystemConfig`](crate::config::SystemConfig).
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_model::MachineId;
+/// let host = MachineId(0);
+/// let device = MachineId(1);
+/// assert_ne!(host, device);
+/// assert_eq!(host.to_string(), "m0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MachineId(pub usize);
+
+impl MachineId {
+    /// The raw index of this machine.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MachineId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl From<usize> for MachineId {
+    fn from(i: usize) -> Self {
+        MachineId(i)
+    }
+}
+
+/// Address of a shared memory location *within* its owning machine.
+///
+/// Addresses are cache-line-granular indices into the owner's shared
+/// segment, `0 .. MachineConfig::locations`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// The raw index of this address.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(a: u32) -> Self {
+        Addr(a)
+    }
+}
+
+/// A shared memory location `x ∈ Loc_k`: an address owned by machine `k`.
+///
+/// The paper's disjointness assumption (`Loc_i ∩ Loc_j = ∅` for `i ≠ j`)
+/// holds by construction because the owner is part of the identity.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_model::{Loc, MachineId};
+/// let x = Loc::new(MachineId(1), 0); // "x₁" in the paper's notation
+/// assert_eq!(x.owner, MachineId(1));
+/// assert_eq!(x.to_string(), "x[m1:a0]");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc {
+    /// The machine whose physical memory backs this location.
+    pub owner: MachineId,
+    /// The cache-line index within the owner's shared segment.
+    pub addr: Addr,
+}
+
+impl Loc {
+    /// Creates the location with the given owner and address index.
+    pub fn new(owner: MachineId, addr: u32) -> Self {
+        Loc {
+            owner,
+            addr: Addr(addr),
+        }
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x[{}:{}]", self.owner, self.addr)
+    }
+}
+
+/// A value stored in memory. The distinguished initial value is [`Val::ZERO`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_model::Val;
+/// assert_eq!(Val::default(), Val::ZERO);
+/// assert_eq!(Val(7).to_string(), "7");
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Val(pub u64);
+
+impl Val {
+    /// The initial value of every location (the paper's distinguished `0`).
+    pub const ZERO: Val = Val(0);
+
+    /// The raw integer payload.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u64> for Val {
+    fn from(v: u64) -> Self {
+        Val(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn machine_id_display_and_order() {
+        assert_eq!(MachineId(3).to_string(), "m3");
+        assert!(MachineId(0) < MachineId(1));
+        assert_eq!(MachineId::from(2).index(), 2);
+    }
+
+    #[test]
+    fn addr_display_and_index() {
+        assert_eq!(Addr(7).to_string(), "a7");
+        assert_eq!(Addr::from(7u32).index(), 7);
+    }
+
+    #[test]
+    fn locations_with_different_owners_are_distinct() {
+        let a = Loc::new(MachineId(0), 0);
+        let b = Loc::new(MachineId(1), 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn loc_display() {
+        assert_eq!(Loc::new(MachineId(2), 5).to_string(), "x[m2:a5]");
+    }
+
+    #[test]
+    fn val_zero_is_default() {
+        assert_eq!(Val::default(), Val::ZERO);
+        assert_eq!(Val::ZERO.raw(), 0);
+        assert_eq!(Val::from(9u64), Val(9));
+    }
+}

@@ -1,0 +1,782 @@
+//! The operational semantics of CXL0 (Figure 2 of the paper), plus the RMW
+//! rules of §3.3 and the variant rules of §3.5.
+//!
+//! [`Semantics::apply`] implements the *visible* transition relation
+//! `γ —α→ γ′` for a single label `α` with **no** interleaved silent steps;
+//! [`Semantics::silent_steps`] enumerates the enabled `τ` propagation
+//! steps. The `cxl0-explore` crate builds the full `γ ⟹ γ′` relation
+//! (labels interleaved with `τ*`) on top of these.
+//!
+//! Blocking rules (`LFlush`, `RFlush`, `GPF`) are modeled exactly as in the
+//! paper: the step is only enabled once its precondition holds, and the
+//! precondition is established by the nondeterministic propagation steps —
+//! the same technique used for `MFENCE` in operational x86-TSO models.
+
+use std::fmt;
+
+use crate::config::{MemoryKind, SystemConfig};
+use crate::ids::{Loc, MachineId, Val};
+use crate::label::{FlushKind, Label, SilentStep, StoreKind};
+use crate::state::State;
+use crate::topology::Topology;
+use crate::variant::ModelVariant;
+
+/// Why a label could not be applied in a given state.
+///
+/// `Blocked` and `ValueMismatch` are *normal* outcomes during exploration
+/// (the interleaving simply cannot produce the requested observation);
+/// `UnknownLocation`, `UnknownMachine` and `NotAllowed` indicate an
+/// ill-formed program for the configuration/topology at hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepError {
+    /// A blocking precondition does not (yet) hold — e.g. `LFlush_i(x)`
+    /// requires `C_i(x) = ⊥`.
+    Blocked {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+    /// A `Load` or `Rmw` label specifies a value different from the unique
+    /// value visible in this state.
+    ValueMismatch {
+        /// The value the label claims to observe.
+        expected: Val,
+        /// The value actually visible in the state.
+        actual: Val,
+    },
+    /// The label refers to a location outside the configuration.
+    UnknownLocation {
+        /// The offending location.
+        loc: Loc,
+    },
+    /// The label refers to a machine outside the configuration.
+    UnknownMachine {
+        /// The offending machine.
+        machine: MachineId,
+    },
+    /// The topology in force does not grant the issuer this primitive (§4).
+    NotAllowed {
+        /// Name of the topology that rejected the label.
+        topology: &'static str,
+    },
+}
+
+impl fmt::Display for StepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StepError::Blocked { reason } => write!(f, "step blocked: {reason}"),
+            StepError::ValueMismatch { expected, actual } => {
+                write!(f, "load observes {actual}, label expects {expected}")
+            }
+            StepError::UnknownLocation { loc } => write!(f, "unknown location {loc}"),
+            StepError::UnknownMachine { machine } => write!(f, "unknown machine {machine}"),
+            StepError::NotAllowed { topology } => {
+                write!(f, "primitive not available under topology {topology}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// Result alias for single-step application.
+pub type StepResult = Result<State, StepError>;
+
+/// The CXL0 transition system for a fixed configuration, variant and
+/// (optional) topology restriction.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_model::{Semantics, SystemConfig, Label, Loc, MachineId, Val};
+///
+/// let cfg = SystemConfig::symmetric_nvm(2, 1);
+/// let sem = Semantics::new(cfg);
+/// let x = Loc::new(MachineId(1), 0);
+/// let st = sem.initial_state();
+///
+/// // MStore goes straight to the owner's memory:
+/// let st = sem.apply(&st, &Label::mstore(MachineId(0), x, Val(1)))?;
+/// assert_eq!(st.memory(x), Val(1));
+///
+/// // ... so a crash of the owner does not lose it (memory is NVM):
+/// let st = sem.apply(&st, &Label::crash(MachineId(1)))?;
+/// let st = sem.apply(&st, &Label::load(MachineId(0), x, Val(1)))?;
+/// assert_eq!(st.memory(x), Val(1));
+/// # Ok::<(), cxl0_model::StepError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Semantics {
+    cfg: SystemConfig,
+    variant: ModelVariant,
+    topology: Option<Topology>,
+}
+
+impl Semantics {
+    /// Base-variant semantics with no topology restriction.
+    pub fn new(cfg: SystemConfig) -> Self {
+        Semantics {
+            cfg,
+            variant: ModelVariant::Base,
+            topology: None,
+        }
+    }
+
+    /// Semantics under the given model variant.
+    pub fn with_variant(cfg: SystemConfig, variant: ModelVariant) -> Self {
+        Semantics {
+            cfg,
+            variant,
+            topology: None,
+        }
+    }
+
+    /// Restricts the available primitives to those granted by `topology`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology was built for a different machine count.
+    pub fn restricted(mut self, topology: Topology) -> Self {
+        assert_eq!(
+            topology.num_machines(),
+            self.cfg.num_machines(),
+            "topology machine count must match the configuration"
+        );
+        self.topology = Some(topology);
+        self
+    }
+
+    /// The configuration this semantics operates over.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The variant in force.
+    pub fn variant(&self) -> ModelVariant {
+        self.variant
+    }
+
+    /// The topology restriction, if any.
+    pub fn topology(&self) -> Option<&Topology> {
+        self.topology.as_ref()
+    }
+
+    /// The initial state for this configuration.
+    pub fn initial_state(&self) -> State {
+        State::initial(&self.cfg)
+    }
+
+    fn check_loc(&self, loc: Loc) -> Result<(), StepError> {
+        if self.cfg.contains_loc(loc) {
+            Ok(())
+        } else {
+            Err(StepError::UnknownLocation { loc })
+        }
+    }
+
+    fn check_machine(&self, m: MachineId) -> Result<(), StepError> {
+        if m.index() < self.cfg.num_machines() {
+            Ok(())
+        } else {
+            Err(StepError::UnknownMachine { machine: m })
+        }
+    }
+
+    fn check_topology(&self, label: &Label) -> Result<(), StepError> {
+        if let (Some(topo), Some(by)) = (&self.topology, label.issuer()) {
+            if !topo.allows(by, label.primitive()) {
+                return Err(StepError::NotAllowed {
+                    topology: topo.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one visible label to `state` (no implicit `τ` steps).
+    ///
+    /// # Errors
+    ///
+    /// See [`StepError`]; `Blocked` / `ValueMismatch` mean "not enabled
+    /// here", which explorers treat as a dead branch rather than a fault.
+    pub fn apply(&self, state: &State, label: &Label) -> StepResult {
+        self.check_topology(label)?;
+        match *label {
+            Label::Store { kind, by, loc, val } => self.apply_store(state, kind, by, loc, val),
+            Label::Load { by, loc, val } => self.apply_load(state, by, loc, val),
+            Label::Flush { kind, by, loc } => self.apply_flush(state, kind, by, loc),
+            Label::Gpf { by } => self.apply_gpf(state, by),
+            Label::Rmw {
+                kind,
+                by,
+                loc,
+                old,
+                new,
+            } => self.apply_rmw(state, kind, by, loc, old, new),
+            Label::Crash { machine } => self.apply_crash(state, machine),
+        }
+    }
+
+    /// LSTORE / RSTORE / MSTORE (Fig. 2).
+    fn apply_store(
+        &self,
+        state: &State,
+        kind: StoreKind,
+        by: MachineId,
+        loc: Loc,
+        val: Val,
+    ) -> StepResult {
+        self.check_machine(by)?;
+        self.check_loc(loc)?;
+        let mut next = state.clone();
+        match kind {
+            // LSTORE: C'_i = C_i[x↦v]; ∀j≠i. C'_j = C_j[x↦⊥].
+            StoreKind::Local => {
+                next.invalidate_all_except(by, loc);
+                next.set_cache(by, loc, val);
+            }
+            // RSTORE: C'_k = C_k[x↦v]; ∀j≠k. C'_j = C_j[x↦⊥]  (k = owner).
+            StoreKind::Remote => {
+                let k = loc.owner;
+                next.invalidate_all_except(k, loc);
+                next.set_cache(k, loc, val);
+            }
+            // MSTORE: M'_k = M_k[x↦v]; ∀j. C'_j = C_j[x↦⊥].
+            StoreKind::Memory => {
+                next.invalidate_all_caches(loc);
+                next.set_memory(loc, val);
+            }
+        }
+        Ok(next)
+    }
+
+    /// LOAD-from-C / LOAD-from-M (Fig. 2), or their LWB replacements (§3.5).
+    fn apply_load(&self, state: &State, by: MachineId, loc: Loc, val: Val) -> StepResult {
+        self.check_machine(by)?;
+        self.check_loc(loc)?;
+        match self.variant {
+            ModelVariant::Base | ModelVariant::Psn => {
+                if let Some(v) = state.cached_value(loc) {
+                    // LOAD-from-C: read from any cache holding a valid value
+                    // and copy it into the issuer's cache (this copy is what
+                    // makes a later LFlush by the issuer meaningful).
+                    if v != val {
+                        return Err(StepError::ValueMismatch {
+                            expected: val,
+                            actual: v,
+                        });
+                    }
+                    let mut next = state.clone();
+                    next.set_cache(by, loc, v);
+                    Ok(next)
+                } else {
+                    // LOAD-from-M: all caches invalid; read the owner's memory.
+                    let v = state.memory(loc);
+                    if v != val {
+                        return Err(StepError::ValueMismatch {
+                            expected: val,
+                            actual: v,
+                        });
+                    }
+                    Ok(state.clone())
+                }
+            }
+            ModelVariant::Lwb => {
+                if let Some(v) = state.cache(by, loc) {
+                    // LOAD-from-C(LWB): only a hit in the issuer's own cache
+                    // may be served from cache; the state is unchanged.
+                    if v != val {
+                        return Err(StepError::ValueMismatch {
+                            expected: val,
+                            actual: v,
+                        });
+                    }
+                    Ok(state.clone())
+                } else if state.no_cache_holds(loc) {
+                    // LOAD-from-M, as in the base model.
+                    let v = state.memory(loc);
+                    if v != val {
+                        return Err(StepError::ValueMismatch {
+                            expected: val,
+                            actual: v,
+                        });
+                    }
+                    Ok(state.clone())
+                } else {
+                    // Some other cache holds the line: the load blocks until
+                    // propagation drains it to the owner's memory.
+                    Err(StepError::Blocked {
+                        reason: "LWB load must wait until no other cache holds the line",
+                    })
+                }
+            }
+        }
+    }
+
+    /// LFLUSH / RFLUSH (Fig. 2): pure blocking preconditions.
+    fn apply_flush(
+        &self,
+        state: &State,
+        kind: FlushKind,
+        by: MachineId,
+        loc: Loc,
+    ) -> StepResult {
+        self.check_machine(by)?;
+        self.check_loc(loc)?;
+        match kind {
+            FlushKind::Local => {
+                if state.cache(by, loc).is_some() {
+                    Err(StepError::Blocked {
+                        reason: "LFlush requires C_i(x) = ⊥",
+                    })
+                } else {
+                    Ok(state.clone())
+                }
+            }
+            FlushKind::Remote => {
+                if state.no_cache_holds(loc) {
+                    Ok(state.clone())
+                } else {
+                    Err(StepError::Blocked {
+                        reason: "RFlush requires ∀j. C_j(x) = ⊥",
+                    })
+                }
+            }
+        }
+    }
+
+    /// GLOBAL-PERSISTENT-FLUSH (Fig. 2): blocks until all caches are empty.
+    fn apply_gpf(&self, state: &State, by: MachineId) -> StepResult {
+        self.check_machine(by)?;
+        if state.all_caches_empty() {
+            Ok(state.clone())
+        } else {
+            Err(StepError::Blocked {
+                reason: "GPF requires ∀j,x. C_j(x) = ⊥",
+            })
+        }
+    }
+
+    /// The six RMW rules (§3.3): an atomic load (from cache or, if all
+    /// caches are invalid, from the owner's memory) combined with a store
+    /// of the given strength, with no interference in between.
+    fn apply_rmw(
+        &self,
+        state: &State,
+        kind: StoreKind,
+        by: MachineId,
+        loc: Loc,
+        old: Val,
+        new: Val,
+    ) -> StepResult {
+        self.check_machine(by)?;
+        self.check_loc(loc)?;
+        let actual = state.visible_value(loc);
+        if actual != old {
+            return Err(StepError::ValueMismatch {
+                expected: old,
+                actual,
+            });
+        }
+        // The store half mirrors apply_store; the load half leaves no
+        // separate trace because the store immediately overwrites/invalidates.
+        let mut next = state.clone();
+        match kind {
+            StoreKind::Local => {
+                next.invalidate_all_except(by, loc);
+                next.set_cache(by, loc, new);
+            }
+            StoreKind::Remote => {
+                let k = loc.owner;
+                next.invalidate_all_except(k, loc);
+                next.set_cache(k, loc, new);
+            }
+            StoreKind::Memory => {
+                next.invalidate_all_caches(loc);
+                next.set_memory(loc, new);
+            }
+        }
+        Ok(next)
+    }
+
+    /// CRASH (Fig. 2) or CRASH(PSN) (§3.5). Crashes every machine in the
+    /// failure domain of `machine` (usually just `machine` itself).
+    fn apply_crash(&self, state: &State, machine: MachineId) -> StepResult {
+        self.check_machine(machine)?;
+        let mut next = state.clone();
+        for m in self.cfg.failure_domain(machine) {
+            next.clear_cache_of(m);
+            if self.cfg.machine(m).memory == MemoryKind::Volatile {
+                next.zero_memory_of(m);
+            }
+            if self.variant == ModelVariant::Psn {
+                next.drop_owned_from_all_caches(m);
+            }
+        }
+        Ok(next)
+    }
+
+    /// Enumerates the silent propagation steps enabled in `state`
+    /// (Propagate-C-C and Propagate-C-M of Fig. 2), respecting a topology's
+    /// `Propagate-C-C` exclusion if one is installed.
+    pub fn silent_steps(&self, state: &State) -> Vec<SilentStep> {
+        let mut out = Vec::new();
+        let cc_allowed = self.topology.as_ref().is_none_or(Topology::allows_prop_cc);
+        for i in 0..state.num_machines() {
+            let m = MachineId(i);
+            for (&loc, _) in state.cache_of(m).iter() {
+                if loc.owner == m {
+                    // Propagate-C-M: owner's cache → owner's memory.
+                    out.push(SilentStep::CacheToMemory { loc });
+                } else if cc_allowed {
+                    // Propagate-C-C: non-owner's cache → owner's cache.
+                    out.push(SilentStep::CacheToCache { from: m, loc });
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Applies one silent propagation step.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Blocked` if the step is not enabled in `state`.
+    pub fn apply_silent(&self, state: &State, step: &SilentStep) -> StepResult {
+        match *step {
+            SilentStep::CacheToCache { from, loc } => {
+                if from == loc.owner {
+                    return Err(StepError::Blocked {
+                        reason: "Propagate-C-C requires i ≠ k",
+                    });
+                }
+                let Some(v) = state.cache(from, loc) else {
+                    return Err(StepError::Blocked {
+                        reason: "Propagate-C-C requires C_i(x) ≠ ⊥",
+                    });
+                };
+                let mut next = state.clone();
+                next.invalidate_cache(from, loc);
+                next.set_cache(loc.owner, loc, v);
+                Ok(next)
+            }
+            SilentStep::CacheToMemory { loc } => {
+                let Some(v) = state.cache(loc.owner, loc) else {
+                    return Err(StepError::Blocked {
+                        reason: "Propagate-C-M requires C_k(x) ≠ ⊥",
+                    });
+                };
+                let mut next = state.clone();
+                next.invalidate_all_caches(loc);
+                next.set_memory(loc, v);
+                Ok(next)
+            }
+        }
+    }
+
+    /// The unique value a load of `loc` would observe in `state`
+    /// (cached value if any, else the owner's memory).
+    ///
+    /// Under the LWB variant a load may additionally be *blocked*; this
+    /// accessor reports the would-be value regardless.
+    pub fn load_value(&self, state: &State, loc: Loc) -> Val {
+        state.visible_value(loc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sem2() -> Semantics {
+        Semantics::new(SystemConfig::symmetric_nvm(2, 1))
+    }
+
+    fn x(owner: usize) -> Loc {
+        Loc::new(MachineId(owner), 0)
+    }
+
+    const M0: MachineId = MachineId(0);
+    const M1: MachineId = MachineId(1);
+
+    #[test]
+    fn lstore_writes_issuer_cache_and_invalidates_others() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        // Preload the other cache so we can observe invalidation.
+        let st = sem.apply(&st, &Label::lstore(M1, x(1), Val(9))).unwrap();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        assert_eq!(st.cache(M0, x(1)), Some(Val(1)));
+        assert_eq!(st.cache(M1, x(1)), None);
+        assert_eq!(st.memory(x(1)), Val::ZERO);
+    }
+
+    #[test]
+    fn rstore_writes_owner_cache() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::rstore(M0, x(1), Val(1))).unwrap();
+        assert_eq!(st.cache(M1, x(1)), Some(Val(1)));
+        assert_eq!(st.cache(M0, x(1)), None);
+        assert_eq!(st.memory(x(1)), Val::ZERO);
+    }
+
+    #[test]
+    fn rstore_by_owner_equals_lstore_by_owner() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let a = sem.apply(&st, &Label::rstore(M1, x(1), Val(1))).unwrap();
+        let b = sem.apply(&st, &Label::lstore(M1, x(1), Val(1))).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mstore_writes_memory_and_invalidates_all() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(5))).unwrap();
+        let st = sem.apply(&st, &Label::mstore(M0, x(1), Val(7))).unwrap();
+        assert!(st.no_cache_holds(x(1)));
+        assert_eq!(st.memory(x(1)), Val(7));
+    }
+
+    #[test]
+    fn load_from_cache_copies_into_issuer_cache() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(3))).unwrap();
+        let st = sem.apply(&st, &Label::load(M1, x(1), Val(3))).unwrap();
+        assert_eq!(st.cache(M1, x(1)), Some(Val(3)));
+        assert_eq!(st.cache(M0, x(1)), Some(Val(3)));
+    }
+
+    #[test]
+    fn load_from_memory_leaves_state_unchanged() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let next = sem.apply(&st, &Label::load(M0, x(1), Val(0))).unwrap();
+        assert_eq!(next, st);
+    }
+
+    #[test]
+    fn load_value_mismatch_is_reported() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let err = sem.apply(&st, &Label::load(M0, x(1), Val(1))).unwrap_err();
+        assert_eq!(
+            err,
+            StepError::ValueMismatch {
+                expected: Val(1),
+                actual: Val(0)
+            }
+        );
+    }
+
+    #[test]
+    fn lflush_blocks_until_local_line_drained() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        let err = sem.apply(&st, &Label::lflush(M0, x(1))).unwrap_err();
+        assert!(matches!(err, StepError::Blocked { .. }));
+        // Drain by propagation, then the flush is a no-op step.
+        let steps = sem.silent_steps(&st);
+        assert_eq!(steps.len(), 1);
+        let st = sem.apply_silent(&st, &steps[0]).unwrap();
+        assert!(sem.apply(&st, &Label::lflush(M0, x(1))).is_ok());
+        // The value moved to the owner's cache.
+        assert_eq!(st.cache(M1, x(1)), Some(Val(1)));
+    }
+
+    #[test]
+    fn rflush_blocks_until_no_cache_holds() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        assert!(matches!(
+            sem.apply(&st, &Label::rflush(M0, x(1))),
+            Err(StepError::Blocked { .. })
+        ));
+        // Two propagation steps drain to memory.
+        let st = sem
+            .apply_silent(
+                &st,
+                &SilentStep::CacheToCache {
+                    from: M0,
+                    loc: x(1),
+                },
+            )
+            .unwrap();
+        assert!(matches!(
+            sem.apply(&st, &Label::rflush(M0, x(1))),
+            Err(StepError::Blocked { .. })
+        ));
+        let st = sem
+            .apply_silent(&st, &SilentStep::CacheToMemory { loc: x(1) })
+            .unwrap();
+        assert!(sem.apply(&st, &Label::rflush(M0, x(1))).is_ok());
+        assert_eq!(st.memory(x(1)), Val(1));
+    }
+
+    #[test]
+    fn gpf_requires_globally_empty_caches() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        assert!(sem.apply(&st, &Label::gpf(M0)).is_ok());
+        let st = sem.apply(&st, &Label::lstore(M0, x(0), Val(1))).unwrap();
+        assert!(matches!(
+            sem.apply(&st, &Label::gpf(M0)),
+            Err(StepError::Blocked { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_clears_cache_and_keeps_nvm() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::mstore(M0, x(0), Val(4))).unwrap();
+        let st = sem.apply(&st, &Label::lstore(M0, x(0), Val(5))).unwrap();
+        let st = sem.apply(&st, &Label::crash(M0)).unwrap();
+        assert!(st.cache_of(M0).is_empty());
+        assert_eq!(st.memory(x(0)), Val(4)); // NVM survives
+    }
+
+    #[test]
+    fn crash_zeroes_volatile_memory() {
+        let cfg = SystemConfig::symmetric_volatile(2, 1);
+        let sem = Semantics::new(cfg);
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::mstore(M0, x(0), Val(4))).unwrap();
+        let st = sem.apply(&st, &Label::crash(M0)).unwrap();
+        assert_eq!(st.memory(x(0)), Val::ZERO);
+    }
+
+    #[test]
+    fn psn_crash_poisons_remote_copies_of_owned_lines() {
+        let cfg = SystemConfig::symmetric_nvm(2, 1);
+        let sem = Semantics::with_variant(cfg, ModelVariant::Psn);
+        let st = sem.initial_state();
+        // m1 caches a line owned by m0 (via RStore from m1... use lstore by m1).
+        let st = sem.apply(&st, &Label::lstore(M1, x(0), Val(1))).unwrap();
+        let st = sem.apply(&st, &Label::crash(M0)).unwrap();
+        // Under PSN, m1's copy of m0's line is gone.
+        assert_eq!(st.cache(M1, x(0)), None);
+        // Under Base it would have survived:
+        let base = sem2();
+        let st2 = base.initial_state();
+        let st2 = base.apply(&st2, &Label::lstore(M1, x(0), Val(1))).unwrap();
+        let st2 = base.apply(&st2, &Label::crash(M0)).unwrap();
+        assert_eq!(st2.cache(M1, x(0)), Some(Val(1)));
+    }
+
+    #[test]
+    fn lwb_load_blocks_on_foreign_cache_hit() {
+        let cfg = SystemConfig::symmetric_nvm(2, 1);
+        let sem = Semantics::with_variant(cfg, ModelVariant::Lwb);
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        // m1 loading x(1): m0's cache holds it → blocked under LWB.
+        assert!(matches!(
+            sem.apply(&st, &Label::load(M1, x(1), Val(1))),
+            Err(StepError::Blocked { .. })
+        ));
+        // m0 loading its own cached copy is fine and leaves state unchanged.
+        let same = sem.apply(&st, &Label::load(M0, x(1), Val(1))).unwrap();
+        assert_eq!(same, st);
+    }
+
+    #[test]
+    fn rmw_success_and_mismatch() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem
+            .apply(&st, &Label::rmw(StoreKind::Local, M0, x(1), Val(0), Val(1)))
+            .unwrap();
+        assert_eq!(st.cache(M0, x(1)), Some(Val(1)));
+        let err = sem
+            .apply(&st, &Label::rmw(StoreKind::Memory, M1, x(1), Val(0), Val(2)))
+            .unwrap_err();
+        assert!(matches!(err, StepError::ValueMismatch { .. }));
+        let st = sem
+            .apply(&st, &Label::rmw(StoreKind::Memory, M1, x(1), Val(1), Val(2)))
+            .unwrap();
+        assert_eq!(st.memory(x(1)), Val(2));
+        assert!(st.no_cache_holds(x(1)));
+    }
+
+    #[test]
+    fn silent_steps_enumeration() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        let st = sem.apply(&st, &Label::lstore(M0, x(0), Val(2))).unwrap();
+        let steps = sem.silent_steps(&st);
+        // x(1) in m0's cache (non-owner → C-C), x(0) in m0's cache (owner → C-M).
+        assert_eq!(steps.len(), 2);
+        assert!(steps.contains(&SilentStep::CacheToCache {
+            from: M0,
+            loc: x(1)
+        }));
+        assert!(steps.contains(&SilentStep::CacheToMemory { loc: x(0) }));
+    }
+
+    #[test]
+    fn propagation_preserves_invariant() {
+        let sem = sem2();
+        let mut st = sem.initial_state();
+        st = sem.apply(&st, &Label::lstore(M0, x(1), Val(1))).unwrap();
+        st = sem.apply(&st, &Label::load(M1, x(1), Val(1))).unwrap();
+        // Both caches hold x(1) = 1 now.
+        assert_eq!(st.holders(x(1)).len(), 2);
+        st.check_invariant().unwrap();
+        let st2 = sem
+            .apply_silent(
+                &st,
+                &SilentStep::CacheToCache {
+                    from: M0,
+                    loc: x(1),
+                },
+            )
+            .unwrap();
+        st2.check_invariant().unwrap();
+        assert_eq!(st2.holders(x(1)), vec![M1]);
+        let st3 = sem
+            .apply_silent(&st2, &SilentStep::CacheToMemory { loc: x(1) })
+            .unwrap();
+        assert!(st3.no_cache_holds(x(1)));
+        assert_eq!(st3.memory(x(1)), Val(1));
+    }
+
+    #[test]
+    fn unknown_location_and_machine_rejected() {
+        let sem = sem2();
+        let st = sem.initial_state();
+        assert!(matches!(
+            sem.apply(&st, &Label::load(M0, Loc::new(MachineId(7), 0), Val(0))),
+            Err(StepError::UnknownLocation { .. })
+        ));
+        assert!(matches!(
+            sem.apply(&st, &Label::load(MachineId(7), x(0), Val(0))),
+            Err(StepError::UnknownMachine { .. })
+        ));
+    }
+
+    #[test]
+    fn crash_group_crashes_together() {
+        use crate::config::MachineConfig;
+        let mut a = MachineConfig::non_volatile(1);
+        a.crash_group = vec![MachineId(1)];
+        let mut b = MachineConfig::volatile(1);
+        b.crash_group = vec![MachineId(0)];
+        let cfg = SystemConfig::new(vec![a, b]);
+        let sem = Semantics::new(cfg);
+        let st = sem.initial_state();
+        let st = sem.apply(&st, &Label::mstore(M0, x(1), Val(3))).unwrap();
+        let st = sem.apply(&st, &Label::lstore(M1, x(0), Val(2))).unwrap();
+        let st = sem.apply(&st, &Label::crash(M0)).unwrap();
+        // Both machines lost their caches; m1's volatile memory reset.
+        assert!(st.cache_of(M1).is_empty());
+        assert_eq!(st.memory(x(1)), Val::ZERO);
+    }
+}

@@ -1,0 +1,374 @@
+//! System model variations of §4: which CXL0 primitives each machine may
+//! issue under the current and near-future CXL deployment configurations.
+//!
+//! The paper's roadmap (Fig. 4) names four configurations; each restricts
+//! the general CXL0 semantics to the primitives the CXL specification
+//! actually provides in that setting:
+//!
+//! | Configuration | Restrictions |
+//! |---|---|
+//! | Host–device pair | host: no `RStore`, no `LFlush`, no remote RMWs; device: no `LFlush`, no remote RMWs |
+//! | Partitioned pool | no `RStore`, no `LOAD-from-C`, no `Propagate-C-C`, no remote RMWs; `LFlush ≡ RFlush` |
+//! | Shared pool (non-coherent) | only `MStore`, `LOAD-from-M`, `M-RMW` |
+//! | Shared pool (coherent) | no `RStore`, no `LOAD-from-C`, no `LFlush`, no `Propagate-C-C`, no remote RMWs |
+//!
+//! "Remote RMWs" are `R-RMW` and `M-RMW`.
+
+use std::fmt;
+
+use crate::ids::MachineId;
+use crate::label::Primitive;
+
+/// Per-machine primitive capabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Capabilities {
+    /// May issue `Load` (served from cache or memory as the rules allow).
+    pub load: bool,
+    /// May issue `LStore`.
+    pub lstore: bool,
+    /// May issue `RStore`.
+    pub rstore: bool,
+    /// May issue `MStore`.
+    pub mstore: bool,
+    /// May issue `LFlush`.
+    pub lflush: bool,
+    /// May issue `RFlush`.
+    pub rflush: bool,
+    /// May issue `GPF`.
+    pub gpf: bool,
+    /// May issue `L-RMW`.
+    pub l_rmw: bool,
+    /// May issue `R-RMW`.
+    pub r_rmw: bool,
+    /// May issue `M-RMW`.
+    pub m_rmw: bool,
+}
+
+impl Capabilities {
+    /// Everything allowed (the unrestricted CXL0 model).
+    pub const fn full() -> Self {
+        Capabilities {
+            load: true,
+            lstore: true,
+            rstore: true,
+            mstore: true,
+            lflush: true,
+            rflush: true,
+            gpf: true,
+            l_rmw: true,
+            r_rmw: true,
+            m_rmw: true,
+        }
+    }
+
+    /// Whether `p` is granted.
+    pub fn allows(&self, p: Primitive) -> bool {
+        match p {
+            Primitive::Load => self.load,
+            Primitive::LStore => self.lstore,
+            Primitive::RStore => self.rstore,
+            Primitive::MStore => self.mstore,
+            Primitive::LFlush => self.lflush,
+            Primitive::RFlush => self.rflush,
+            Primitive::Gpf => self.gpf,
+            Primitive::LRmw => self.l_rmw,
+            Primitive::RRmw => self.r_rmw,
+            Primitive::MRmw => self.m_rmw,
+            Primitive::Crash => true, // crashes are environment events
+        }
+    }
+
+    /// The granted subset of [`Primitive::ISSUED`].
+    pub fn granted(&self) -> Vec<Primitive> {
+        Primitive::ISSUED
+            .iter()
+            .copied()
+            .filter(|&p| self.allows(p))
+            .collect()
+    }
+}
+
+impl Default for Capabilities {
+    fn default() -> Self {
+        Capabilities::full()
+    }
+}
+
+/// A topology: a named set of per-machine capabilities plus fabric-level
+/// switches (whether `Propagate-C-C` exists at all).
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_model::{Topology, MachineId, Primitive};
+///
+/// let t = Topology::host_device_pair();
+/// let host = MachineId(0);
+/// let device = MachineId(1);
+/// assert!(!t.allows(host, Primitive::RStore));   // host cannot RStore
+/// assert!(t.allows(device, Primitive::RStore));  // device can
+/// assert!(!t.allows(device, Primitive::LFlush)); // nobody can LFlush
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Topology {
+    name: &'static str,
+    per_machine: Vec<Capabilities>,
+    prop_cc: bool,
+}
+
+impl Topology {
+    /// An unrestricted topology over `n` machines (the full CXL0 model,
+    /// corresponding to the paper's "future configurations").
+    pub fn unrestricted(n: usize) -> Self {
+        Topology {
+            name: "unrestricted",
+            per_machine: vec![Capabilities::full(); n],
+            prop_cc: true,
+        }
+    }
+
+    /// §4 *Host–device pair* (Fig. 4a): machine 0 is the host, machine 1
+    /// the Type-2 device. The host can issue everything but `RStore`,
+    /// `LFlush` and remote RMWs; the device everything but `LFlush` and
+    /// remote RMWs.
+    pub fn host_device_pair() -> Self {
+        let host = Capabilities {
+            rstore: false,
+            lflush: false,
+            r_rmw: false,
+            m_rmw: false,
+            ..Capabilities::full()
+        };
+        let device = Capabilities {
+            lflush: false,
+            r_rmw: false,
+            m_rmw: false,
+            ..Capabilities::full()
+        };
+        Topology {
+            name: "host-device-pair",
+            per_machine: vec![host, device],
+            prop_cc: true,
+        }
+    }
+
+    /// §4 *Partitioned disaggregated memory pool* (Fig. 4b, disjoint
+    /// partitions): `n` hosts, each paired with its own pool partition.
+    /// Excludes `RStore`, cache-to-cache interaction and remote RMWs;
+    /// `LFlush` and `RFlush` are semantically equivalent here (both are
+    /// granted; the equivalence is a theorem, checkable with the explorer).
+    pub fn partitioned_pool(n: usize) -> Self {
+        let caps = Capabilities {
+            rstore: false,
+            r_rmw: false,
+            m_rmw: false,
+            ..Capabilities::full()
+        };
+        Topology {
+            name: "partitioned-pool",
+            per_machine: vec![caps; n],
+            prop_cc: false,
+        }
+    }
+
+    /// §4 *Shared disaggregated memory pool*, fully cache-coherent version:
+    /// interactions with remote caches are unavailable, so `RStore`,
+    /// `LFlush` on remote lines, `Propagate-C-C` and remote RMWs are
+    /// excluded.
+    pub fn shared_pool_coherent(n: usize) -> Self {
+        let caps = Capabilities {
+            rstore: false,
+            lflush: false,
+            r_rmw: false,
+            m_rmw: false,
+            ..Capabilities::full()
+        };
+        Topology {
+            name: "shared-pool-coherent",
+            per_machine: vec![caps; n],
+            prop_cc: false,
+        }
+    }
+
+    /// §4 *Shared disaggregated memory pool*, realistic non-coherent
+    /// version: caches must be bypassed entirely, so only `MStore`,
+    /// memory-served `Load`, and `M-RMW` are usable.
+    pub fn shared_pool_noncoherent(n: usize) -> Self {
+        let caps = Capabilities {
+            lstore: false,
+            rstore: false,
+            lflush: false,
+            rflush: false,
+            gpf: false,
+            l_rmw: false,
+            r_rmw: false,
+            ..Capabilities {
+                load: true,
+                mstore: true,
+                m_rmw: true,
+                ..Capabilities::full()
+            }
+        };
+        Topology {
+            name: "shared-pool-noncoherent",
+            per_machine: vec![caps; n],
+            prop_cc: false,
+        }
+    }
+
+    /// A custom topology.
+    pub fn custom(name: &'static str, per_machine: Vec<Capabilities>, prop_cc: bool) -> Self {
+        Topology {
+            name,
+            per_machine,
+            prop_cc,
+        }
+    }
+
+    /// The topology's name (used in error messages and reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Number of machines this topology describes.
+    pub fn num_machines(&self) -> usize {
+        self.per_machine.len()
+    }
+
+    /// Whether machine `m` may issue primitive `p`.
+    pub fn allows(&self, m: MachineId, p: Primitive) -> bool {
+        self.per_machine
+            .get(m.index())
+            .is_some_and(|c| c.allows(p))
+    }
+
+    /// Whether the fabric performs `Propagate-C-C` steps at all.
+    pub fn allows_prop_cc(&self) -> bool {
+        self.prop_cc
+    }
+
+    /// The capability set of machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn capabilities(&self, m: MachineId) -> &Capabilities {
+        &self.per_machine[m.index()]
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "topology {} ({} machines):", self.name, self.num_machines())?;
+        for (i, c) in self.per_machine.iter().enumerate() {
+            let granted: Vec<String> = c.granted().iter().map(|p| p.to_string()).collect();
+            writeln!(f, "  m{i}: {}", granted.join(", "))?;
+        }
+        write!(
+            f,
+            "  Propagate-C-C: {}",
+            if self.prop_cc { "enabled" } else { "disabled" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HOST: MachineId = MachineId(0);
+    const DEV: MachineId = MachineId(1);
+
+    #[test]
+    fn full_capabilities_allow_everything() {
+        let c = Capabilities::full();
+        for p in Primitive::ISSUED {
+            assert!(c.allows(p), "{p} should be allowed");
+        }
+        assert_eq!(c.granted().len(), 10);
+    }
+
+    #[test]
+    fn host_device_pair_matches_section_4() {
+        let t = Topology::host_device_pair();
+        // Host: everything but RStore, LFlush, R-RMW, M-RMW.
+        assert!(t.allows(HOST, Primitive::Load));
+        assert!(t.allows(HOST, Primitive::LStore));
+        assert!(t.allows(HOST, Primitive::MStore));
+        assert!(t.allows(HOST, Primitive::RFlush));
+        assert!(t.allows(HOST, Primitive::Gpf));
+        assert!(t.allows(HOST, Primitive::LRmw));
+        assert!(!t.allows(HOST, Primitive::RStore));
+        assert!(!t.allows(HOST, Primitive::LFlush));
+        assert!(!t.allows(HOST, Primitive::RRmw));
+        assert!(!t.allows(HOST, Primitive::MRmw));
+        // Device: all stores including RStore, but no LFlush / remote RMWs.
+        assert!(t.allows(DEV, Primitive::RStore));
+        assert!(t.allows(DEV, Primitive::LStore));
+        assert!(t.allows(DEV, Primitive::MStore));
+        assert!(!t.allows(DEV, Primitive::LFlush));
+        assert!(!t.allows(DEV, Primitive::RRmw));
+        assert!(!t.allows(DEV, Primitive::MRmw));
+        assert!(t.allows_prop_cc());
+    }
+
+    #[test]
+    fn partitioned_pool_excludes_cross_host_interaction() {
+        let t = Topology::partitioned_pool(3);
+        assert_eq!(t.num_machines(), 3);
+        for i in 0..3 {
+            let m = MachineId(i);
+            assert!(!t.allows(m, Primitive::RStore));
+            assert!(!t.allows(m, Primitive::RRmw));
+            assert!(!t.allows(m, Primitive::MRmw));
+            assert!(t.allows(m, Primitive::LFlush));
+            assert!(t.allows(m, Primitive::RFlush));
+            assert!(t.allows(m, Primitive::LRmw));
+        }
+        assert!(!t.allows_prop_cc());
+    }
+
+    #[test]
+    fn noncoherent_pool_only_memory_primitives() {
+        let t = Topology::shared_pool_noncoherent(2);
+        for i in 0..2 {
+            let m = MachineId(i);
+            assert_eq!(
+                t.capabilities(m).granted(),
+                vec![Primitive::Load, Primitive::MStore, Primitive::MRmw]
+            );
+        }
+    }
+
+    #[test]
+    fn coherent_pool_excludes_remote_cache_interaction() {
+        let t = Topology::shared_pool_coherent(2);
+        let m = MachineId(0);
+        assert!(!t.allows(m, Primitive::RStore));
+        assert!(!t.allows(m, Primitive::LFlush));
+        assert!(t.allows(m, Primitive::LStore));
+        assert!(t.allows(m, Primitive::RFlush));
+        assert!(!t.allows_prop_cc());
+    }
+
+    #[test]
+    fn crash_is_always_allowed() {
+        let t = Topology::shared_pool_noncoherent(2);
+        assert!(t.allows(MachineId(0), Primitive::Crash));
+    }
+
+    #[test]
+    fn out_of_range_machine_allows_nothing() {
+        let t = Topology::host_device_pair();
+        assert!(!t.allows(MachineId(9), Primitive::Load));
+    }
+
+    #[test]
+    fn display_lists_capabilities() {
+        let t = Topology::host_device_pair();
+        let s = t.to_string();
+        assert!(s.contains("host-device-pair"));
+        assert!(s.contains("m0:"));
+        assert!(s.contains("Propagate-C-C: enabled"));
+    }
+}

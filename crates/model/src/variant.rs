@@ -1,0 +1,65 @@
+//! The three model variants of §3.3 and §3.5: base `CXL0`, `CXL0_PSN`
+//! (crash with cache-line poisoning), and `CXL0_LWB` (remote loads with
+//! implicit write-back).
+
+use std::fmt;
+
+/// Which CXL0 model variant governs the semantics.
+///
+/// Every trace allowed by [`ModelVariant::Psn`] or [`ModelVariant::Lwb`] is
+/// also allowed by [`ModelVariant::Base`]; the two variants themselves are
+/// incomparable (§3.5, tests 10–12). The `cxl0-explore` crate's refinement
+/// checker verifies these claims mechanically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ModelVariant {
+    /// The base model of Figure 2.
+    #[default]
+    Base,
+    /// *Crash with cache line poisoning*: when machine `i` crashes, every
+    /// cache entry for a location owned by `i` is additionally invalidated
+    /// in **all** caches (CXL Isolation / MemData-NXM poison responses,
+    /// §9.9, §12.3 of the CXL spec).
+    Psn,
+    /// *Remote loads with implicit write-back*: `LOAD-from-C` only serves
+    /// hits in the issuer's **own** cache; any other load must wait until
+    /// the value has drained to the owner's memory (so every remote load
+    /// observes a persistent value).
+    Lwb,
+}
+
+impl ModelVariant {
+    /// All variants, base first.
+    pub const ALL: [ModelVariant; 3] = [ModelVariant::Base, ModelVariant::Psn, ModelVariant::Lwb];
+}
+
+impl fmt::Display for ModelVariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelVariant::Base => write!(f, "CXL0"),
+            ModelVariant::Psn => write!(f, "CXL0_PSN"),
+            ModelVariant::Lwb => write!(f, "CXL0_LWB"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_base() {
+        assert_eq!(ModelVariant::default(), ModelVariant::Base);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ModelVariant::Base.to_string(), "CXL0");
+        assert_eq!(ModelVariant::Psn.to_string(), "CXL0_PSN");
+        assert_eq!(ModelVariant::Lwb.to_string(), "CXL0_LWB");
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(ModelVariant::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,136 @@
+//! The protocol analyzer: records every transaction crossing the
+//! simulated link, playing the role of §5's Teledyne LeCroy T516.
+
+use std::collections::BTreeMap;
+
+use crate::mesi::CachePair;
+use crate::ops::{CxlOp, MemTarget, Node};
+use crate::transaction::Transaction;
+
+/// One observed operation: the context plus the transactions it emitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Observation {
+    /// The issuing node.
+    pub node: Node,
+    /// The primitive performed.
+    pub op: CxlOp,
+    /// The memory targeted.
+    pub target: MemTarget,
+    /// The MESI pair before the operation.
+    pub before: CachePair,
+    /// The transactions seen on the link, in order.
+    pub transactions: Vec<Transaction>,
+}
+
+/// Records observations and aggregates them into Table-1-style cells.
+#[derive(Debug, Clone, Default)]
+pub struct Analyzer {
+    observations: Vec<Observation>,
+}
+
+impl Analyzer {
+    /// An empty analyzer.
+    pub fn new() -> Self {
+        Analyzer::default()
+    }
+
+    /// Records one operation's link traffic.
+    pub fn record(
+        &mut self,
+        node: Node,
+        op: CxlOp,
+        target: MemTarget,
+        before: CachePair,
+        transactions: Vec<Transaction>,
+    ) {
+        self.observations.push(Observation {
+            node,
+            op,
+            target,
+            before,
+            transactions,
+        });
+    }
+
+    /// All raw observations.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Total transactions seen on the link.
+    pub fn total_transactions(&self) -> usize {
+        self.observations.iter().map(|o| o.transactions.len()).sum()
+    }
+
+    /// Aggregates into cells: for each `(node, op, target)`, the set of
+    /// distinct transaction sequences observed (Table 1 reports exactly
+    /// this many-to-one mapping).
+    pub fn cells(&self) -> BTreeMap<(Node, CxlOp, MemTarget), Vec<Vec<Transaction>>> {
+        let mut out: BTreeMap<(Node, CxlOp, MemTarget), Vec<Vec<Transaction>>> = BTreeMap::new();
+        for o in &self.observations {
+            let cell = out.entry((o.node, o.op, o.target)).or_default();
+            if !cell.contains(&o.transactions) {
+                cell.push(o.transactions.clone());
+            }
+        }
+        for cell in out.values_mut() {
+            cell.sort();
+        }
+        out
+    }
+
+    /// Clears recorded observations.
+    pub fn clear(&mut self) {
+        self.observations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesi::MesiState;
+
+    #[test]
+    fn records_and_aggregates_distinct_sequences() {
+        let mut a = Analyzer::new();
+        let st = CachePair::new(MesiState::I, MesiState::I);
+        a.record(Node::Host, CxlOp::Read, MemTarget::HostMemory, st, vec![]);
+        a.record(
+            Node::Host,
+            CxlOp::Read,
+            MemTarget::HostMemory,
+            CachePair::new(MesiState::I, MesiState::S),
+            vec![Transaction::SNP_INV],
+        );
+        // Duplicate sequence should not duplicate the cell entry.
+        a.record(
+            Node::Host,
+            CxlOp::Read,
+            MemTarget::HostMemory,
+            CachePair::new(MesiState::I, MesiState::M),
+            vec![Transaction::SNP_INV],
+        );
+        let cells = a.cells();
+        let cell = &cells[&(Node::Host, CxlOp::Read, MemTarget::HostMemory)];
+        assert_eq!(cell.len(), 2);
+        assert!(cell.contains(&vec![]));
+        assert!(cell.contains(&vec![Transaction::SNP_INV]));
+        assert_eq!(a.total_transactions(), 2);
+        assert_eq!(a.observations().len(), 3);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut a = Analyzer::new();
+        a.record(
+            Node::Device,
+            CxlOp::RStore,
+            MemTarget::HostMemory,
+            CachePair::invalid(),
+            vec![Transaction::ITOM_WR],
+        );
+        a.clear();
+        assert!(a.observations().is_empty());
+        assert!(a.cells().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # `cxl0-protocol` — transaction-level CXL.cache / CXL.mem simulation
+//!
+//! The paper's §5 maps CXL0 primitives to the concrete CXL transactions
+//! observed on a real x86 + FPGA (Type-2) link with a protocol analyzer.
+//! This crate rebuilds that setup in simulation:
+//!
+//! * [`mesi`] — MESI states and the legal host/device state pairs;
+//! * [`transaction`] — the CXL.cache (H2D, D2H) and CXL.mem (M2S)
+//!   transaction vocabulary of Table 1;
+//! * [`ops`] — the transaction-generation rules: which link transactions
+//!   each CXL0 primitive emits from each node/target/state, and the next
+//!   coherence state (a complete value-free protocol engine);
+//! * [`machine`] — a stateful host–device pair driving sequences of
+//!   primitives;
+//! * [`analyzer`] — the protocol-analyzer stand-in, recording and
+//!   aggregating link traffic;
+//! * [`table`] — the **Table 1** generator and the paper's expected
+//!   cells (compared exactly in tests);
+//! * [`bisnp`] — the CXL 3.0 back-invalidation flows of §4's *envisioned*
+//!   coherent shared pool (snoop-filter directory, `BISnp`/`BIRsp`
+//!   traffic), with the invariants CXL0 needs checked mechanically.
+//!
+//! ## Example: observing a primitive's traffic
+//!
+//! ```
+//! use cxl0_protocol::{host_op, CxlOp, MemTarget, CachePair, MesiState, Transaction};
+//!
+//! // Host MStore to HDM always writes through: one M2S MemWr.
+//! let st = CachePair::new(MesiState::I, MesiState::M);
+//! let out = host_op(CxlOp::MStore, MemTarget::DeviceMemory, st).unwrap();
+//! assert_eq!(out.transactions, vec![Transaction::MEM_WR]);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod analyzer;
+pub mod bisnp;
+pub mod machine;
+pub mod mesi;
+pub mod ops;
+pub mod table;
+pub mod transaction;
+
+pub use analyzer::{Analyzer, Observation};
+pub use bisnp::{BIRsp, BISnpReq, CoherentPool, DirState, HostId, LineId, PoolOp, PoolTxn};
+pub use machine::{HostDevicePair, Line};
+pub use mesi::{CachePair, MesiState};
+pub use ops::{
+    device_op, host_op, perform, Availability, CxlOp, DeviceMStoreStrategy, MemTarget, Node,
+    OpOutcome,
+};
+pub use table::{expected_paper_cells, generate_table1, Cell, Table1};
+pub use transaction::{render_sequence, D2HReq, H2DReq, M2SReq, Transaction};

@@ -1,0 +1,173 @@
+//! A stateful host–device pair simulator: per-line MESI pairs driven
+//! through the transaction-generation rules, with an attached
+//! [`Analyzer`]. This is the component the latency experiments
+//! (`cxl0-fabric`) and the Table-1 generator both drive.
+
+use std::collections::BTreeMap;
+
+use crate::analyzer::Analyzer;
+use crate::mesi::CachePair;
+use crate::ops::{perform, CxlOp, DeviceMStoreStrategy, MemTarget, Node};
+use crate::transaction::Transaction;
+
+/// Identifies a cache line within one of the two memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Line {
+    /// Which memory the line belongs to.
+    pub target: MemTarget,
+    /// The line index within that memory.
+    pub index: u32,
+}
+
+impl Line {
+    /// Constructs a line id.
+    pub fn new(target: MemTarget, index: u32) -> Self {
+        Line { target, index }
+    }
+}
+
+/// The stateful pair simulator.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_protocol::{HostDevicePair, Line, CxlOp, MemTarget, Node, Transaction};
+///
+/// let mut sim = HostDevicePair::new();
+/// let line = Line::new(MemTarget::DeviceMemory, 0);
+/// // Host read miss on HDM: one MemRdData on the link.
+/// let txns = sim.perform(Node::Host, CxlOp::Read, line).unwrap();
+/// assert_eq!(txns, vec![Transaction::MEM_RD_DATA]);
+/// // Second read hits: silent.
+/// let txns = sim.perform(Node::Host, CxlOp::Read, line).unwrap();
+/// assert!(txns.is_empty());
+/// ```
+#[derive(Debug, Default)]
+pub struct HostDevicePair {
+    lines: BTreeMap<Line, CachePair>,
+    analyzer: Analyzer,
+    strategy: DeviceMStoreStrategy,
+}
+
+impl HostDevicePair {
+    /// A fresh pair with all lines invalid everywhere.
+    pub fn new() -> Self {
+        HostDevicePair {
+            lines: BTreeMap::new(),
+            analyzer: Analyzer::new(),
+            strategy: DeviceMStoreStrategy::CachingWriteFlush,
+        }
+    }
+
+    /// Selects the device's `MStore` instruction variant.
+    pub fn set_mstore_strategy(&mut self, strategy: DeviceMStoreStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The current MESI pair of `line`.
+    pub fn state(&self, line: Line) -> CachePair {
+        self.lines.get(&line).copied().unwrap_or_else(CachePair::invalid)
+    }
+
+    /// Forces a line into a specific state pair (test setup; Table-1
+    /// enumeration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pair` is illegal.
+    pub fn set_state(&mut self, line: Line, pair: CachePair) {
+        assert!(pair.is_legal(), "illegal MESI pair {pair}");
+        self.lines.insert(line, pair);
+    }
+
+    /// Performs `op` by `node` on `line`, recording the link traffic.
+    /// Returns the transactions, or `None` if the primitive is not
+    /// available from that node (Table 1's `???`).
+    pub fn perform(&mut self, node: Node, op: CxlOp, line: Line) -> Option<Vec<Transaction>> {
+        let before = self.state(line);
+        let outcome = perform(node, op, line.target, before, self.strategy)?;
+        self.lines.insert(line, outcome.next);
+        self.analyzer
+            .record(node, op, line.target, before, outcome.transactions.clone());
+        Some(outcome.transactions)
+    }
+
+    /// The attached analyzer.
+    pub fn analyzer(&self) -> &Analyzer {
+        &self.analyzer
+    }
+
+    /// Mutable access to the analyzer (e.g. to clear it between phases).
+    pub fn analyzer_mut(&mut self) -> &mut Analyzer {
+        &mut self.analyzer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesi::MesiState;
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut sim = HostDevicePair::new();
+        let line = Line::new(MemTarget::HostMemory, 0);
+        // Device read miss: RdShared.
+        assert_eq!(
+            sim.perform(Node::Device, CxlOp::Read, line).unwrap(),
+            vec![Transaction::RD_SHARED]
+        );
+        // Hit: silent.
+        assert!(sim.perform(Node::Device, CxlOp::Read, line).unwrap().is_empty());
+        assert_eq!(sim.state(line).device, MesiState::S);
+    }
+
+    #[test]
+    fn write_after_remote_read_invalidates() {
+        let mut sim = HostDevicePair::new();
+        let line = Line::new(MemTarget::HostMemory, 3);
+        sim.perform(Node::Device, CxlOp::Read, line).unwrap();
+        // Host store snoops the device's shared copy out.
+        assert_eq!(
+            sim.perform(Node::Host, CxlOp::LStore, line).unwrap(),
+            vec![Transaction::SNP_INV]
+        );
+        assert_eq!(sim.state(line), CachePair::new(MesiState::M, MesiState::I));
+    }
+
+    #[test]
+    fn unavailable_op_returns_none_and_records_nothing() {
+        let mut sim = HostDevicePair::new();
+        let line = Line::new(MemTarget::HostMemory, 0);
+        assert!(sim.perform(Node::Host, CxlOp::RStore, line).is_none());
+        assert!(sim.analyzer().observations().is_empty());
+    }
+
+    #[test]
+    fn states_remain_legal_across_random_sequences() {
+        use proptest::prelude::*;
+        let mut runner = proptest::test_runner::TestRunner::default();
+        let strategy = proptest::collection::vec(
+            (0..2usize, 0..6usize, 0..2usize, 0..4u32),
+            0..60,
+        );
+        runner
+            .run(&strategy, |ops| {
+                let mut sim = HostDevicePair::new();
+                for (node, op, target, idx) in ops {
+                    let node = if node == 0 { Node::Host } else { Node::Device };
+                    let op = CxlOp::ALL[op];
+                    let target = if target == 0 {
+                        MemTarget::HostMemory
+                    } else {
+                        MemTarget::DeviceMemory
+                    };
+                    let line = Line::new(target, idx);
+                    let _ = sim.perform(node, op, line);
+                    prop_assert!(sim.state(line).is_legal());
+                }
+                Ok(())
+            })
+            .unwrap();
+    }
+}

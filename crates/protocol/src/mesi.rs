@@ -1,0 +1,153 @@
+//! MESI coherence states for the host–device pair of §5.
+//!
+//! Within the single coherence domain of a CXL 1.1 host + Type-2 device,
+//! each cache line has a MESI state in the host's cache hierarchy and one
+//! in the device's cache. Cross-cache compatibility is the standard MESI
+//! matrix: `M` and `E` are exclusive of any valid remote state, `S` may
+//! coexist with `S`.
+
+use std::fmt;
+
+/// A MESI cache-line state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MesiState {
+    /// Modified: exclusive ownership, dirty.
+    M,
+    /// Exclusive: exclusive ownership, clean.
+    E,
+    /// Shared: read-only copy, possibly replicated.
+    S,
+    /// Invalid: no copy.
+    I,
+}
+
+impl MesiState {
+    /// All four states.
+    pub const ALL: [MesiState; 4] = [MesiState::M, MesiState::E, MesiState::S, MesiState::I];
+
+    /// True if this cache holds a usable copy (`M`/`E`/`S`).
+    pub fn is_valid(self) -> bool {
+        self != MesiState::I
+    }
+
+    /// True if this cache owns the line exclusively (`M`/`E`).
+    pub fn is_exclusive(self) -> bool {
+        matches!(self, MesiState::M | MesiState::E)
+    }
+
+    /// True if the line is dirty here (`M`).
+    pub fn is_dirty(self) -> bool {
+        self == MesiState::M
+    }
+}
+
+impl fmt::Display for MesiState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            MesiState::M => 'M',
+            MesiState::E => 'E',
+            MesiState::S => 'S',
+            MesiState::I => 'I',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// The pair of MESI states `(host, device)` for one cache line, as used
+/// in Table 1's state enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CachePair {
+    /// The host's state for the line.
+    pub host: MesiState,
+    /// The device's state for the line.
+    pub device: MesiState,
+}
+
+impl CachePair {
+    /// Constructs a pair.
+    pub fn new(host: MesiState, device: MesiState) -> Self {
+        CachePair { host, device }
+    }
+
+    /// Both caches invalid.
+    pub fn invalid() -> Self {
+        CachePair::new(MesiState::I, MesiState::I)
+    }
+
+    /// MESI cross-cache compatibility: `M`/`E` on one side forces `I` on
+    /// the other; `S` tolerates `S` or `I`.
+    pub fn is_legal(self) -> bool {
+        match (self.host, self.device) {
+            (MesiState::M | MesiState::E, d) => d == MesiState::I,
+            (h, MesiState::M | MesiState::E) => h == MesiState::I,
+            _ => true, // S/S, S/I, I/S, I/I
+        }
+    }
+
+    /// The eight legal pairs, in a stable order:
+    /// `(M,I) (E,I) (S,S) (S,I) (I,M) (I,E) (I,S) (I,I)`.
+    pub fn legal_pairs() -> Vec<CachePair> {
+        let mut out = Vec::new();
+        for h in MesiState::ALL {
+            for d in MesiState::ALL {
+                let p = CachePair::new(h, d);
+                if p.is_legal() {
+                    out.push(p);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for CachePair {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.host, self.device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_eight_legal_pairs() {
+        let pairs = CachePair::legal_pairs();
+        assert_eq!(pairs.len(), 8);
+        for p in &pairs {
+            assert!(p.is_legal());
+        }
+        // The narrative's enumerations are all present:
+        for (h, d) in [
+            (MesiState::S, MesiState::S),
+            (MesiState::I, MesiState::S),
+            (MesiState::I, MesiState::E),
+            (MesiState::I, MesiState::M),
+        ] {
+            assert!(pairs.contains(&CachePair::new(h, d)));
+        }
+    }
+
+    #[test]
+    fn illegal_pairs_rejected() {
+        assert!(!CachePair::new(MesiState::M, MesiState::M).is_legal());
+        assert!(!CachePair::new(MesiState::M, MesiState::S).is_legal());
+        assert!(!CachePair::new(MesiState::S, MesiState::E).is_legal());
+        assert!(!CachePair::new(MesiState::E, MesiState::E).is_legal());
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(MesiState::M.is_dirty());
+        assert!(!MesiState::E.is_dirty());
+        assert!(MesiState::E.is_exclusive());
+        assert!(MesiState::S.is_valid());
+        assert!(!MesiState::I.is_valid());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(CachePair::new(MesiState::S, MesiState::I).to_string(), "(S,I)");
+        assert_eq!(MesiState::M.to_string(), "M");
+    }
+}

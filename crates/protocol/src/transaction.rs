@@ -1,0 +1,156 @@
+//! The CXL link transaction vocabulary observed in §5.1 (Table 1):
+//! CXL.cache host-to-device (H2D) and device-to-host (D2H) requests, and
+//! CXL.mem master-to-subordinate (M2S) requests.
+
+use std::fmt;
+
+/// CXL.cache host-to-device (H2D) requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum H2DReq {
+    /// Snoop-invalidate: the host demands the device drop (and write back
+    /// if dirty) its copy.
+    SnpInv,
+}
+
+/// CXL.cache device-to-host (D2H) requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum D2HReq {
+    /// Caching read for a shared copy.
+    RdShared,
+    /// Caching read for ownership (write intent).
+    RdOwn,
+    /// Push a full line into the host's cache without prior ownership
+    /// ("invalid to modified, write": the device's `RStore` to HM).
+    ItoMWr,
+    /// Evict a clean line.
+    CleanEvict,
+    /// Evict a dirty line (with data).
+    DirtyEvict,
+    /// Weakly-ordered write-invalidate (full line, posted).
+    WOWrInvF,
+    /// Strongly-ordered write-invalidate.
+    WrInv,
+}
+
+/// CXL.mem master-to-subordinate (M2S) requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum M2SReq {
+    /// Read with data, no ownership tracking change.
+    MemRdData,
+    /// Read (with data) acquiring ownership.
+    MemRd,
+    /// Write a full line to device memory.
+    MemWr,
+    /// Invalidate device-side state without data transfer.
+    MemInv,
+}
+
+/// Any transaction visible on the CXL link between host and device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Transaction {
+    /// A CXL.cache H2D request.
+    CacheH2D(H2DReq),
+    /// A CXL.cache D2H request.
+    CacheD2H(D2HReq),
+    /// A CXL.mem M2S request.
+    MemM2S(M2SReq),
+}
+
+impl Transaction {
+    /// Shorthand constructors used pervasively by the op tables.
+    pub const SNP_INV: Transaction = Transaction::CacheH2D(H2DReq::SnpInv);
+    /// D2H `RdShared`.
+    pub const RD_SHARED: Transaction = Transaction::CacheD2H(D2HReq::RdShared);
+    /// D2H `RdOwn`.
+    pub const RD_OWN: Transaction = Transaction::CacheD2H(D2HReq::RdOwn);
+    /// D2H `ItoMWr`.
+    pub const ITOM_WR: Transaction = Transaction::CacheD2H(D2HReq::ItoMWr);
+    /// D2H `CleanEvict`.
+    pub const CLEAN_EVICT: Transaction = Transaction::CacheD2H(D2HReq::CleanEvict);
+    /// D2H `DirtyEvict`.
+    pub const DIRTY_EVICT: Transaction = Transaction::CacheD2H(D2HReq::DirtyEvict);
+    /// D2H `WOWrInv/F`.
+    pub const WO_WR_INV_F: Transaction = Transaction::CacheD2H(D2HReq::WOWrInvF);
+    /// D2H `WrInv`.
+    pub const WR_INV: Transaction = Transaction::CacheD2H(D2HReq::WrInv);
+    /// M2S `MemRdData`.
+    pub const MEM_RD_DATA: Transaction = Transaction::MemM2S(M2SReq::MemRdData);
+    /// M2S `MemRd`.
+    pub const MEM_RD: Transaction = Transaction::MemM2S(M2SReq::MemRd);
+    /// M2S `MemWr`.
+    pub const MEM_WR: Transaction = Transaction::MemM2S(M2SReq::MemWr);
+    /// M2S `MemInv`.
+    pub const MEM_INV: Transaction = Transaction::MemM2S(M2SReq::MemInv);
+
+    /// The sub-protocol this transaction travels on.
+    pub fn channel(&self) -> &'static str {
+        match self {
+            Transaction::CacheH2D(_) => "CXL.cache H2D",
+            Transaction::CacheD2H(_) => "CXL.cache D2H",
+            Transaction::MemM2S(_) => "CXL.mem M2S",
+        }
+    }
+}
+
+impl fmt::Display for Transaction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Transaction::CacheH2D(H2DReq::SnpInv) => "SnpInv",
+            Transaction::CacheD2H(D2HReq::RdShared) => "RdShared",
+            Transaction::CacheD2H(D2HReq::RdOwn) => "RdOwn",
+            Transaction::CacheD2H(D2HReq::ItoMWr) => "ItoMWr",
+            Transaction::CacheD2H(D2HReq::CleanEvict) => "CleanEvict",
+            Transaction::CacheD2H(D2HReq::DirtyEvict) => "DirtyEvict",
+            Transaction::CacheD2H(D2HReq::WOWrInvF) => "WOWrInv/F",
+            Transaction::CacheD2H(D2HReq::WrInv) => "WrInv",
+            Transaction::MemM2S(M2SReq::MemRdData) => "MemRdData",
+            Transaction::MemM2S(M2SReq::MemRd) => "MemRd",
+            Transaction::MemM2S(M2SReq::MemWr) => "MemWr",
+            Transaction::MemM2S(M2SReq::MemInv) => "MemInv",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Renders a transaction sequence as a Table-1 cell entry: `"None"` for
+/// the empty sequence, `"A + B"` for multi-transaction flows.
+pub fn render_sequence(seq: &[Transaction]) -> String {
+    if seq.is_empty() {
+        "None".to_string()
+    } else {
+        seq.iter()
+            .map(|t| t.to_string())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_spec_names() {
+        assert_eq!(Transaction::SNP_INV.to_string(), "SnpInv");
+        assert_eq!(Transaction::WO_WR_INV_F.to_string(), "WOWrInv/F");
+        assert_eq!(Transaction::MEM_RD_DATA.to_string(), "MemRdData");
+        assert_eq!(Transaction::ITOM_WR.to_string(), "ItoMWr");
+    }
+
+    #[test]
+    fn channels_classified() {
+        assert_eq!(Transaction::SNP_INV.channel(), "CXL.cache H2D");
+        assert_eq!(Transaction::RD_OWN.channel(), "CXL.cache D2H");
+        assert_eq!(Transaction::MEM_WR.channel(), "CXL.mem M2S");
+    }
+
+    #[test]
+    fn sequence_rendering() {
+        assert_eq!(render_sequence(&[]), "None");
+        assert_eq!(render_sequence(&[Transaction::SNP_INV]), "SnpInv");
+        assert_eq!(
+            render_sequence(&[Transaction::RD_OWN, Transaction::DIRTY_EVICT]),
+            "RdOwn + DirtyEvict"
+        );
+    }
+}

@@ -1,0 +1,1025 @@
+//! `SimFabric`: an executable, thread-safe implementation of the CXL0
+//! semantics, suitable for running real concurrent workloads with crash
+//! injection.
+//!
+//! ## Correspondence with the abstract model
+//!
+//! The global cache invariant of §3.3 makes the abstract state
+//! *per-location*: for each location there is at most one cached value,
+//! held by a set of machines, plus the owner's memory value. `SimFabric`
+//! therefore shards the state into one lock per location holding
+//! `(holders bitmask, cached value, memory value)`; every CXL0 rule except
+//! `GPF` and crash touches exactly one location and is applied atomically
+//! under that lock, which makes each operation a linearizable application
+//! of one (or, for flushes, a `τ*`-prefixed) transition of the model. The
+//! integration test `tests/backend_vs_model.rs` checks this refinement
+//! mechanically against `cxl0-model`.
+//!
+//! *Blocking* primitives (`LFlush`, `RFlush`, `GPF`) are implemented by
+//! **forcing** the propagation steps their preconditions wait for — the
+//! resulting state is exactly the one the blocking rule unblocks in, so
+//! the reachable states are unchanged.
+//!
+//! ## Crashes
+//!
+//! `crash(m)` stops the world (write-locks every machine's operation
+//! lock), wipes machine `m`'s cache entries and (if volatile) its memory,
+//! then marks `m` crashed. Threads "running on" `m` observe [`Crashed`]
+//! from their next operation and must stop; `recover(m)` readmits the
+//! machine with fresh threads. Stopping the world makes the crash a
+//! single atomic transition, as in the model.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cxl0_model::{Loc, MachineId, MemoryKind, ModelVariant, Primitive, StoreKind, SystemConfig};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cost::CostModel;
+use crate::error::{Crashed, OpResult};
+
+/// Per-location sharded state: the model's `(C, M)` restricted to one
+/// location, exploiting the global cache invariant.
+#[derive(Debug, Default)]
+struct LocState {
+    /// Bitmask of machines whose cache holds the (unique) cached value.
+    holders: u64,
+    /// The cached value; meaningful iff `holders != 0`.
+    cache_val: u64,
+    /// The owner's memory value.
+    mem_val: u64,
+}
+
+/// Operation counters, per primitive class.
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Loads issued.
+    pub loads: AtomicU64,
+    /// `LStore`s issued.
+    pub lstores: AtomicU64,
+    /// `RStore`s issued.
+    pub rstores: AtomicU64,
+    /// `MStore`s issued.
+    pub mstores: AtomicU64,
+    /// `LFlush`es issued.
+    pub lflushes: AtomicU64,
+    /// `RFlush`es issued.
+    pub rflushes: AtomicU64,
+    /// RMWs issued (all strengths, successful or failed).
+    pub rmws: AtomicU64,
+    /// Asynchronous flush requests issued (`CXL0_AF` extension).
+    pub aflushes: AtomicU64,
+    /// Barriers issued (`CXL0_AF` extension).
+    pub barriers: AtomicU64,
+    /// Simulated nanoseconds accumulated under the [`CostModel`].
+    pub sim_ns: AtomicU64,
+}
+
+impl Stats {
+    /// Total number of primitive operations recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+            + self.lstores.load(Ordering::Relaxed)
+            + self.rstores.load(Ordering::Relaxed)
+            + self.mstores.load(Ordering::Relaxed)
+            + self.lflushes.load(Ordering::Relaxed)
+            + self.rflushes.load(Ordering::Relaxed)
+            + self.rmws.load(Ordering::Relaxed)
+    }
+
+    /// Simulated time accumulated, in nanoseconds.
+    pub fn sim_nanos(&self) -> u64 {
+        self.sim_ns.load(Ordering::Relaxed)
+    }
+
+    /// A plain-data snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads.load(Ordering::Relaxed),
+            lstores: self.lstores.load(Ordering::Relaxed),
+            rstores: self.rstores.load(Ordering::Relaxed),
+            mstores: self.mstores.load(Ordering::Relaxed),
+            lflushes: self.lflushes.load(Ordering::Relaxed),
+            rflushes: self.rflushes.load(Ordering::Relaxed),
+            rmws: self.rmws.load(Ordering::Relaxed),
+            aflushes: self.aflushes.load(Ordering::Relaxed),
+            barriers: self.barriers.load(Ordering::Relaxed),
+            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Copyable snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Loads issued.
+    pub loads: u64,
+    /// `LStore`s issued.
+    pub lstores: u64,
+    /// `RStore`s issued.
+    pub rstores: u64,
+    /// `MStore`s issued.
+    pub mstores: u64,
+    /// `LFlush`es issued.
+    pub lflushes: u64,
+    /// `RFlush`es issued.
+    pub rflushes: u64,
+    /// RMWs issued.
+    pub rmws: u64,
+    /// Asynchronous flush requests issued.
+    pub aflushes: u64,
+    /// Barriers issued.
+    pub barriers: u64,
+    /// Simulated nanoseconds.
+    pub sim_ns: u64,
+}
+
+impl StatsSnapshot {
+    /// Total primitives.
+    pub fn total_ops(&self) -> u64 {
+        self.loads + self.lstores + self.rstores + self.mstores + self.lflushes + self.rflushes
+            + self.rmws + self.aflushes + self.barriers
+    }
+
+    /// Flushes of either kind (synchronous only; see
+    /// [`StatsSnapshot::aflushes`] for asynchronous requests).
+    pub fn flushes(&self) -> u64 {
+        self.lflushes + self.rflushes
+    }
+
+    /// Component-wise difference (`self - earlier`).
+    pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            loads: self.loads - earlier.loads,
+            lstores: self.lstores - earlier.lstores,
+            rstores: self.rstores - earlier.rstores,
+            mstores: self.mstores - earlier.mstores,
+            lflushes: self.lflushes - earlier.lflushes,
+            rflushes: self.rflushes - earlier.rflushes,
+            rmws: self.rmws - earlier.rmws,
+            aflushes: self.aflushes - earlier.aflushes,
+            barriers: self.barriers - earlier.barriers,
+            sim_ns: self.sim_ns - earlier.sim_ns,
+        }
+    }
+}
+
+/// The concurrent CXL0 shared-memory fabric.
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_runtime::SimFabric;
+/// use cxl0_model::{SystemConfig, MachineId, Loc};
+///
+/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 16));
+/// let node = fabric.node(MachineId(0));
+/// let x = Loc::new(MachineId(1), 3);
+/// node.lstore(x, 7)?;
+/// node.rflush(x)?;          // persist to machine 1's memory
+/// assert_eq!(node.load(x)?, 7);
+/// fabric.crash(MachineId(1));
+/// fabric.recover(MachineId(1));
+/// assert_eq!(node.load(x)?, 7); // survived: NVM + RFlush
+/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// ```
+#[derive(Debug)]
+pub struct SimFabric {
+    cfg: SystemConfig,
+    variant: ModelVariant,
+    /// `locs[m][a]` guards the state of `Loc::new(m, a)`.
+    locs: Vec<Vec<Mutex<LocState>>>,
+    /// Per-machine operation locks: ops take `read`, crash takes `write`.
+    op_locks: Vec<RwLock<()>>,
+    crashed: Vec<AtomicBool>,
+    /// Per-machine persistency buffers of pending `AFlush` requests
+    /// (`CXL0_AF` extension; cleared by a crash of the machine).
+    pending: Vec<Mutex<std::collections::BTreeSet<Loc>>>,
+    stats: Stats,
+    cost: CostModel,
+}
+
+impl SimFabric {
+    /// Creates a fabric over `cfg` with the base variant and the Figure-5
+    /// cost model.
+    pub fn new(cfg: SystemConfig) -> Arc<Self> {
+        Self::with_options(cfg, ModelVariant::Base, CostModel::figure5())
+    }
+
+    /// Creates a fabric with an explicit variant and cost model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` has more than 64 machines (the holder bitmask).
+    pub fn with_options(
+        cfg: SystemConfig,
+        variant: ModelVariant,
+        cost: CostModel,
+    ) -> Arc<Self> {
+        assert!(cfg.num_machines() <= 64, "at most 64 machines supported");
+        let locs = cfg
+            .machines()
+            .map(|m| {
+                (0..cfg.machine(m).locations)
+                    .map(|_| Mutex::new(LocState::default()))
+                    .collect()
+            })
+            .collect();
+        Arc::new(SimFabric {
+            op_locks: (0..cfg.num_machines()).map(|_| RwLock::new(())).collect(),
+            crashed: (0..cfg.num_machines())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            pending: (0..cfg.num_machines())
+                .map(|_| Mutex::new(std::collections::BTreeSet::new()))
+                .collect(),
+            cfg,
+            variant,
+            locs,
+            stats: Stats::default(),
+            cost,
+        })
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The model variant in force (`Base`, `Psn`, or `Lwb`).
+    pub fn variant(&self) -> ModelVariant {
+        self.variant
+    }
+
+    /// Operation counters and simulated time.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// A handle for threads running on machine `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn node(self: &Arc<Self>, m: MachineId) -> NodeHandle {
+        assert!(m.index() < self.cfg.num_machines(), "unknown machine {m}");
+        NodeHandle {
+            fabric: Arc::clone(self),
+            machine: m,
+        }
+    }
+
+    /// True if machine `m` is currently crashed.
+    pub fn is_crashed(&self, m: MachineId) -> bool {
+        self.crashed[m.index()].load(Ordering::Acquire)
+    }
+
+    fn loc_state(&self, loc: Loc) -> &Mutex<LocState> {
+        &self.locs[loc.owner.index()][loc.addr.index()]
+    }
+
+    fn charge(&self, p: Primitive, by: MachineId, loc: Loc) {
+        let local = by == loc.owner;
+        let ns = self.cost.cost(p, local);
+        if ns > 0 {
+            self.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+    }
+
+    /// Crashes machine `m`: stop-the-world, wipe `m`'s cache entries
+    /// everywhere, reset `m`'s memory if volatile, apply PSN poisoning if
+    /// that variant is in force. Machines in `m`'s failure domain crash
+    /// together. Idempotent.
+    pub fn crash(&self, m: MachineId) {
+        // Stop the world so the crash is one atomic transition.
+        let _guards: Vec<_> = self.op_locks.iter().map(|l| l.write()).collect();
+        for d in self.cfg.failure_domain(m) {
+            self.crashed[d.index()].store(true, Ordering::Release);
+            // Un-retired asynchronous flush requests die with the machine.
+            self.pending[d.index()].lock().clear();
+            let bit = 1u64 << d.index();
+            for owner in self.cfg.machines() {
+                for a in 0..self.cfg.machine(owner).locations {
+                    let mut st = self.locs[owner.index()][a as usize].lock();
+                    // The crashed machine's cache entries vanish.
+                    st.holders &= !bit;
+                    if owner == d {
+                        if self.cfg.machine(d).memory == MemoryKind::Volatile {
+                            st.mem_val = 0;
+                        }
+                        if self.variant == ModelVariant::Psn {
+                            // Poison: every cache entry for a line owned by
+                            // the crashed machine is invalidated.
+                            st.holders = 0;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recovers machine `m` (and its failure domain): new threads may run
+    /// on it again. Its cache is empty; memory contents are whatever the
+    /// crash left (NVM kept, volatile zeroed).
+    pub fn recover(&self, m: MachineId) {
+        for d in self.cfg.failure_domain(m) {
+            self.crashed[d.index()].store(false, Ordering::Release);
+        }
+    }
+
+    /// Performs `n` random propagation (`τ`) steps, as a cache-eviction
+    /// daemon would. Useful in tests to exercise propagation
+    /// nondeterminism deterministically from a seed.
+    pub fn propagate_randomly(&self, seed: u64, n: usize) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let locs: Vec<Loc> = self.cfg.all_locations().collect();
+        if locs.is_empty() {
+            return;
+        }
+        for _ in 0..n {
+            let loc = locs[rng.gen_range(0..locs.len())];
+            let mut st = self.loc_state(loc).lock();
+            if st.holders == 0 {
+                continue;
+            }
+            let owner_bit = 1u64 << loc.owner.index();
+            if st.holders & owner_bit != 0 && rng.gen_bool(0.5) {
+                // Propagate-C-M: owner's cache → owner's memory.
+                st.mem_val = st.cache_val;
+                st.holders = 0;
+            } else {
+                // Propagate-C-C: a random non-owner holder → owner.
+                let others = st.holders & !owner_bit;
+                if others != 0 {
+                    let idx = pick_bit(others, &mut rng);
+                    st.holders &= !(1u64 << idx);
+                    st.holders |= owner_bit;
+                }
+            }
+        }
+    }
+
+    /// Drains every cache to memory (the state change a successful `GPF`
+    /// waits for). Exposed for orderly-shutdown scenarios.
+    pub fn drain_all(&self) {
+        for loc in self.cfg.all_locations() {
+            let mut st = self.loc_state(loc).lock();
+            if st.holders != 0 {
+                st.mem_val = st.cache_val;
+                st.holders = 0;
+            }
+        }
+    }
+
+    /// Reads the owner's *memory* value of `loc` directly — the
+    /// "post-crash recovery inspection" view, bypassing caches. Intended
+    /// for tests and recovery assertions, not for algorithm code.
+    pub fn peek_memory(&self, loc: Loc) -> u64 {
+        self.loc_state(loc).lock().mem_val
+    }
+
+    /// True if some cache currently holds `loc`.
+    pub fn is_cached(&self, loc: Loc) -> bool {
+        self.loc_state(loc).lock().holders != 0
+    }
+
+    /// Number of un-retired `AFlush` requests in machine `m`'s persistency
+    /// buffer (`CXL0_AF` extension).
+    pub fn pending_flushes(&self, m: MachineId) -> usize {
+        self.pending[m.index()].lock().len()
+    }
+}
+
+fn pick_bit(mask: u64, rng: &mut StdRng) -> u32 {
+    debug_assert!(mask != 0);
+    let count = mask.count_ones();
+    let k = rng.gen_range(0..count);
+    let mut m = mask;
+    for _ in 0..k {
+        m &= m - 1;
+    }
+    m.trailing_zeros()
+}
+
+/// A per-machine handle: the operations a thread running on that machine
+/// may issue. Cloning is cheap (an `Arc` bump).
+#[derive(Debug, Clone)]
+pub struct NodeHandle {
+    fabric: Arc<SimFabric>,
+    machine: MachineId,
+}
+
+impl NodeHandle {
+    /// The machine this handle issues from.
+    pub fn machine(&self) -> MachineId {
+        self.machine
+    }
+
+    /// The underlying fabric.
+    pub fn fabric(&self) -> &Arc<SimFabric> {
+        &self.fabric
+    }
+
+    fn enter(&self) -> OpResult<parking_lot::RwLockReadGuard<'_, ()>> {
+        let guard = self.fabric.op_locks[self.machine.index()].read();
+        if self.fabric.crashed[self.machine.index()].load(Ordering::Acquire) {
+            return Err(Crashed {
+                machine: self.machine,
+            });
+        }
+        Ok(guard)
+    }
+
+    /// `Load`: returns the value visible at `loc`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn load(&self, loc: Loc) -> OpResult<u64> {
+        let _g = self.enter()?;
+        self.fabric.stats.loads.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::Load, self.machine, loc);
+        let bit = 1u64 << self.machine.index();
+        let mut st = self.fabric.loc_state(loc).lock();
+        match self.fabric.variant {
+            ModelVariant::Base | ModelVariant::Psn => {
+                if st.holders != 0 {
+                    // LOAD-from-C: copy into the issuer's cache.
+                    st.holders |= bit;
+                    Ok(st.cache_val)
+                } else {
+                    // LOAD-from-M (no copy).
+                    Ok(st.mem_val)
+                }
+            }
+            ModelVariant::Lwb => {
+                if st.holders & bit != 0 {
+                    // Own-cache hit.
+                    Ok(st.cache_val)
+                } else {
+                    if st.holders != 0 {
+                        // Blocking until the line drains to memory ≡ force
+                        // the drain, then read memory.
+                        st.mem_val = st.cache_val;
+                        st.holders = 0;
+                    }
+                    Ok(st.mem_val)
+                }
+            }
+        }
+    }
+
+    /// `LStore`: store to this machine's cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn lstore(&self, loc: Loc, v: u64) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.lstores.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::LStore, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        st.cache_val = v;
+        st.holders = 1u64 << self.machine.index();
+        Ok(())
+    }
+
+    /// `RStore`: store to the owner's cache.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn rstore(&self, loc: Loc, v: u64) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.rstores.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::RStore, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        st.cache_val = v;
+        st.holders = 1u64 << loc.owner.index();
+        Ok(())
+    }
+
+    /// `MStore`: store directly to the owner's memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn mstore(&self, loc: Loc, v: u64) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.mstores.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::MStore, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        st.mem_val = v;
+        st.holders = 0;
+        Ok(())
+    }
+
+    /// Store with a runtime-selected strength.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn store(&self, kind: StoreKind, loc: Loc, v: u64) -> OpResult<()> {
+        match kind {
+            StoreKind::Local => self.lstore(loc, v),
+            StoreKind::Remote => self.rstore(loc, v),
+            StoreKind::Memory => self.mstore(loc, v),
+        }
+    }
+
+    /// `LFlush`: drain this machine's cached copy one level (to the
+    /// owner's cache, or to memory when this machine owns the line). The
+    /// blocking precondition is satisfied by forcing the propagation.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn lflush(&self, loc: Loc) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.lflushes.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::LFlush, self.machine, loc);
+        let bit = 1u64 << self.machine.index();
+        let owner_bit = 1u64 << loc.owner.index();
+        let mut st = self.fabric.loc_state(loc).lock();
+        if st.holders & bit != 0 {
+            if self.machine == loc.owner {
+                // Propagate-C-M.
+                st.mem_val = st.cache_val;
+                st.holders = 0;
+            } else {
+                // Propagate-C-C toward the owner.
+                st.holders = (st.holders & !bit) | owner_bit;
+            }
+        }
+        Ok(())
+    }
+
+    /// `RFlush`: force the line all the way to the owner's memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn rflush(&self, loc: Loc) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.rflushes.fetch_add(1, Ordering::Relaxed);
+        self.fabric.charge(Primitive::RFlush, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        if st.holders != 0 {
+            st.mem_val = st.cache_val;
+            st.holders = 0;
+        }
+        Ok(())
+    }
+
+    /// Flush with a runtime-selected strength.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn flush(&self, kind: cxl0_model::FlushKind, loc: Loc) -> OpResult<()> {
+        match kind {
+            cxl0_model::FlushKind::Local => self.lflush(loc),
+            cxl0_model::FlushKind::Remote => self.rflush(loc),
+        }
+    }
+
+    /// `GPF`: drain every cache in the system to memory.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn gpf(&self) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.drain_all();
+        Ok(())
+    }
+
+    /// `AFlush` (`CXL0_AF` extension): enqueue an asynchronous flush
+    /// request for `loc` into this machine's persistency buffer and return
+    /// immediately. The write-back is only guaranteed to have happened
+    /// after a subsequent [`NodeHandle::barrier`]; an un-barriered request
+    /// is lost if this machine crashes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn aflush(&self, loc: Loc) -> OpResult<()> {
+        let _g = self.enter()?;
+        self.fabric.stats.aflushes.fetch_add(1, Ordering::Relaxed);
+        let ns = self.fabric.cost.aflush_issue;
+        if ns > 0 {
+            self.fabric.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        self.fabric.pending[self.machine.index()].lock().insert(loc);
+        Ok(())
+    }
+
+    /// `Barrier` (`CXL0_AF` extension, the `SFENCE` analogue): retire every
+    /// pending `AFlush` request of this machine, forcing each line to the
+    /// owner's memory. Pending write-backs overlap on the link, so `n`
+    /// lines cost one full `RFlush` plus `n-1` pipelined increments
+    /// (see [`CostModel::barrier_cost`]) instead of `n` round trips.
+    ///
+    /// Returns the number of lines retired.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn barrier(&self) -> OpResult<usize> {
+        let _g = self.enter()?;
+        self.fabric.stats.barriers.fetch_add(1, Ordering::Relaxed);
+        let drained = std::mem::take(&mut *self.fabric.pending[self.machine.index()].lock());
+        let mut line_costs = Vec::with_capacity(drained.len());
+        for &loc in &drained {
+            let mut st = self.fabric.loc_state(loc).lock();
+            if st.holders != 0 {
+                st.mem_val = st.cache_val;
+                st.holders = 0;
+            }
+            let local = self.machine == loc.owner;
+            line_costs.push(self.fabric.cost.cost(Primitive::RFlush, local));
+        }
+        let ns = self.fabric.cost.barrier_cost(&line_costs);
+        if ns > 0 {
+            self.fabric.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
+        }
+        Ok(drained.len())
+    }
+
+    /// Compare-and-swap with the given store strength: atomically loads
+    /// the visible value and, if it equals `old`, installs `new`.
+    ///
+    /// Returns `Ok(old)` on success and `Err(actual)` on mismatch (a
+    /// failed CAS is equivalent to a plain load).
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Crashed`] if this machine has crashed.
+    pub fn cas(&self, kind: StoreKind, loc: Loc, old: u64, new: u64) -> OpResult<Result<u64, u64>> {
+        let _g = self.enter()?;
+        self.fabric.stats.rmws.fetch_add(1, Ordering::Relaxed);
+        let prim = match kind {
+            StoreKind::Local => Primitive::LRmw,
+            StoreKind::Remote => Primitive::RRmw,
+            StoreKind::Memory => Primitive::MRmw,
+        };
+        self.fabric.charge(prim, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        let visible = if st.holders != 0 { st.cache_val } else { st.mem_val };
+        if visible != old {
+            return Ok(Err(visible));
+        }
+        match kind {
+            StoreKind::Local => {
+                st.cache_val = new;
+                st.holders = 1u64 << self.machine.index();
+            }
+            StoreKind::Remote => {
+                st.cache_val = new;
+                st.holders = 1u64 << loc.owner.index();
+            }
+            StoreKind::Memory => {
+                st.mem_val = new;
+                st.holders = 0;
+            }
+        }
+        Ok(Ok(old))
+    }
+
+    /// Fetch-and-add with the given store strength; returns the previous
+    /// value.
+    ///
+    /// # Errors
+    ///
+    /// Fails if this machine has crashed.
+    pub fn faa(&self, kind: StoreKind, loc: Loc, delta: u64) -> OpResult<u64> {
+        let _g = self.enter()?;
+        self.fabric.stats.rmws.fetch_add(1, Ordering::Relaxed);
+        let prim = match kind {
+            StoreKind::Local => Primitive::LRmw,
+            StoreKind::Remote => Primitive::RRmw,
+            StoreKind::Memory => Primitive::MRmw,
+        };
+        self.fabric.charge(prim, self.machine, loc);
+        let mut st = self.fabric.loc_state(loc).lock();
+        let visible = if st.holders != 0 { st.cache_val } else { st.mem_val };
+        let new = visible.wrapping_add(delta);
+        match kind {
+            StoreKind::Local => {
+                st.cache_val = new;
+                st.holders = 1u64 << self.machine.index();
+            }
+            StoreKind::Remote => {
+                st.cache_val = new;
+                st.holders = 1u64 << loc.owner.index();
+            }
+            StoreKind::Memory => {
+                st.mem_val = new;
+                st.holders = 0;
+            }
+        }
+        Ok(visible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const M0: MachineId = MachineId(0);
+    const M1: MachineId = MachineId(1);
+
+    fn fabric2() -> Arc<SimFabric> {
+        SimFabric::new(SystemConfig::symmetric_nvm(2, 4))
+    }
+
+    fn x(o: usize, a: u32) -> Loc {
+        Loc::new(MachineId(o), a)
+    }
+
+    #[test]
+    fn store_kinds_propagation_depth() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 1).unwrap();
+        assert_eq!(f.peek_memory(x(1, 0)), 0); // still cached
+        assert!(f.is_cached(x(1, 0)));
+        n0.mstore(x(1, 1), 2).unwrap();
+        assert_eq!(f.peek_memory(x(1, 1)), 2);
+        assert!(!f.is_cached(x(1, 1)));
+        n0.rstore(x(1, 2), 3).unwrap();
+        assert_eq!(f.peek_memory(x(1, 2)), 0); // in owner's cache
+        assert!(f.is_cached(x(1, 2)));
+    }
+
+    #[test]
+    fn rflush_persists_lflush_moves_one_level() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 7).unwrap();
+        n0.lflush(x(1, 0)).unwrap();
+        // Value moved to owner's cache, not memory.
+        assert_eq!(f.peek_memory(x(1, 0)), 0);
+        assert!(f.is_cached(x(1, 0)));
+        n0.rflush(x(1, 0)).unwrap();
+        assert_eq!(f.peek_memory(x(1, 0)), 7);
+        assert!(!f.is_cached(x(1, 0)));
+    }
+
+    #[test]
+    fn owner_lflush_writes_memory() {
+        let f = fabric2();
+        let n1 = f.node(M1);
+        n1.lstore(x(1, 0), 9).unwrap();
+        n1.lflush(x(1, 0)).unwrap();
+        assert_eq!(f.peek_memory(x(1, 0)), 9);
+    }
+
+    #[test]
+    fn crash_wipes_cache_keeps_nvm() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.mstore(x(0, 0), 5).unwrap();
+        n0.lstore(x(0, 0), 6).unwrap(); // newer value only in cache
+        f.crash(M0);
+        assert!(f.is_crashed(M0));
+        assert!(n0.load(x(0, 0)).is_err());
+        f.recover(M0);
+        assert_eq!(n0.load(x(0, 0)).unwrap(), 5); // cache lost, NVM kept
+    }
+
+    #[test]
+    fn crash_zeroes_volatile_memory() {
+        let f = SimFabric::new(SystemConfig::symmetric_volatile(2, 1));
+        let n0 = f.node(M0);
+        n0.mstore(x(0, 0), 5).unwrap();
+        f.crash(M0);
+        f.recover(M0);
+        assert_eq!(n0.load(x(0, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn remote_cached_copy_survives_owner_crash_base() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 3).unwrap();
+        f.crash(M1);
+        f.recover(M1);
+        // Base variant: m0's cached copy survives and is visible.
+        assert_eq!(n0.load(x(1, 0)).unwrap(), 3);
+    }
+
+    #[test]
+    fn psn_crash_poisons_remote_copies() {
+        let f = SimFabric::with_options(
+            SystemConfig::symmetric_nvm(2, 1),
+            ModelVariant::Psn,
+            CostModel::free(),
+        );
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 3).unwrap();
+        f.crash(M1);
+        f.recover(M1);
+        // PSN: the copy was poisoned; memory value (0) is visible.
+        assert_eq!(n0.load(x(1, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    fn lwb_load_forces_writeback() {
+        let f = SimFabric::with_options(
+            SystemConfig::symmetric_nvm(2, 1),
+            ModelVariant::Lwb,
+            CostModel::free(),
+        );
+        let n0 = f.node(M0);
+        let n1 = f.node(M1);
+        n0.lstore(x(1, 0), 4).unwrap();
+        // m1's load drains the line to its memory first.
+        assert_eq!(n1.load(x(1, 0)).unwrap(), 4);
+        assert_eq!(f.peek_memory(x(1, 0)), 4);
+    }
+
+    #[test]
+    fn cas_success_and_failure() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        assert_eq!(n0.cas(StoreKind::Local, x(1, 0), 0, 10).unwrap(), Ok(0));
+        assert_eq!(
+            n0.cas(StoreKind::Local, x(1, 0), 0, 20).unwrap(),
+            Err(10)
+        );
+        assert_eq!(n0.load(x(1, 0)).unwrap(), 10);
+    }
+
+    #[test]
+    fn faa_returns_previous() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        assert_eq!(n0.faa(StoreKind::Memory, x(0, 0), 5).unwrap(), 0);
+        assert_eq!(n0.faa(StoreKind::Memory, x(0, 0), 5).unwrap(), 5);
+        assert_eq!(f.peek_memory(x(0, 0)), 10);
+    }
+
+    #[test]
+    fn gpf_drains_everything() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(0, 0), 1).unwrap();
+        n0.lstore(x(1, 0), 2).unwrap();
+        n0.gpf().unwrap();
+        assert_eq!(f.peek_memory(x(0, 0)), 1);
+        assert_eq!(f.peek_memory(x(1, 0)), 2);
+    }
+
+    #[test]
+    fn stats_count_operations_and_time() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 1).unwrap();
+        n0.load(x(1, 0)).unwrap();
+        n0.rflush(x(1, 0)).unwrap();
+        let s = f.stats().snapshot();
+        assert_eq!(s.lstores, 1);
+        assert_eq!(s.loads, 1);
+        assert_eq!(s.rflushes, 1);
+        assert_eq!(s.total_ops(), 3);
+        assert!(s.sim_ns > 0);
+    }
+
+    #[test]
+    fn propagate_randomly_eventually_persists() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 8).unwrap();
+        f.propagate_randomly(42, 200);
+        assert_eq!(f.peek_memory(x(1, 0)), 8);
+    }
+
+    #[test]
+    fn concurrent_faa_is_atomic() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 1));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let node = f.node(MachineId(t % 2));
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    node.faa(StoreKind::Local, Loc::new(MachineId(0), 0), 1)
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let n = f.node(M0);
+        assert_eq!(n.load(Loc::new(MachineId(0), 0)).unwrap(), 4000);
+    }
+
+    #[test]
+    fn aflush_defers_persistence_until_barrier() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 7).unwrap();
+        n0.aflush(x(1, 0)).unwrap();
+        assert_eq!(f.pending_flushes(M0), 1);
+        assert_eq!(f.peek_memory(x(1, 0)), 0); // nothing persisted yet
+        assert_eq!(n0.barrier().unwrap(), 1);
+        assert_eq!(f.pending_flushes(M0), 0);
+        assert_eq!(f.peek_memory(x(1, 0)), 7);
+        assert!(!f.is_cached(x(1, 0)));
+    }
+
+    #[test]
+    fn barrier_with_empty_buffer_is_cheap_noop() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        assert_eq!(n0.barrier().unwrap(), 0);
+        let s = f.stats().snapshot();
+        assert_eq!(s.barriers, 1);
+        assert_eq!(s.aflushes, 0);
+    }
+
+    #[test]
+    fn barrier_batches_multiple_lines_cheaper_than_sync_flushes() {
+        let cfg = SystemConfig::symmetric_nvm(2, 8);
+        let batched = SimFabric::new(cfg.clone());
+        let n = batched.node(M0);
+        for a in 0..4 {
+            n.lstore(x(1, a), a as u64 + 1).unwrap();
+            n.aflush(x(1, a)).unwrap();
+        }
+        n.barrier().unwrap();
+
+        let synced = SimFabric::new(cfg);
+        let m = synced.node(M0);
+        for a in 0..4 {
+            m.lstore(x(1, a), a as u64 + 1).unwrap();
+            m.rflush(x(1, a)).unwrap();
+        }
+        for a in 0..4 {
+            assert_eq!(batched.peek_memory(x(1, a)), a as u64 + 1);
+            assert_eq!(synced.peek_memory(x(1, a)), a as u64 + 1);
+        }
+        assert!(
+            batched.stats().sim_nanos() < synced.stats().sim_nanos(),
+            "batched {} !< synced {}",
+            batched.stats().sim_nanos(),
+            synced.stats().sim_nanos()
+        );
+    }
+
+    #[test]
+    fn crash_discards_pending_aflushes() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 7).unwrap();
+        n0.aflush(x(1, 0)).unwrap();
+        f.crash(M0);
+        f.recover(M0);
+        assert_eq!(f.pending_flushes(M0), 0);
+        // The post-crash barrier retires nothing; the store was never
+        // persisted (it may still be visible from the owner's cache).
+        assert_eq!(n0.barrier().unwrap(), 0);
+        assert_eq!(f.peek_memory(x(1, 0)), 0);
+    }
+
+    #[test]
+    fn duplicate_aflushes_to_one_line_retire_once() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 5).unwrap();
+        n0.aflush(x(1, 0)).unwrap();
+        n0.aflush(x(1, 0)).unwrap();
+        assert_eq!(f.pending_flushes(M0), 1);
+        assert_eq!(n0.barrier().unwrap(), 1);
+    }
+
+    #[test]
+    fn crash_during_concurrent_ops_is_atomic() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut handles = Vec::new();
+        for _ in 0..3 {
+            let node = f.node(M1);
+            let stop = Arc::clone(&stop);
+            handles.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    if node.lstore(Loc::new(M1, (i % 8) as u32), i).is_err() {
+                        break; // machine crashed; thread dies
+                    }
+                    i += 1;
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        f.crash(M1);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(f.is_crashed(M1));
+    }
+}

@@ -1,0 +1,184 @@
+//! A simple cost model: simulated nanoseconds per CXL0 primitive,
+//! distinguishing local (issuer owns the line) from remote accesses.
+//!
+//! The default table is calibrated to the *shape* of the paper's Figure 5
+//! (see `cxl0-fabric` for the transaction-level derivation): local loads
+//! ≈ 2.3× faster than remote, `LStore` ≈ write-buffer speed, and
+//! `MStore`/`RFlush` paying the full memory round trip. The runtime
+//! accumulates these costs so benchmarks can report deterministic
+//! simulated time alongside wall-clock time.
+
+use cxl0_model::Primitive;
+
+/// Simulated per-primitive latencies in nanoseconds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// Load served with the issuer owning the line's home.
+    pub load_local: u64,
+    /// Load of a line homed on another machine.
+    pub load_remote: u64,
+    /// `LStore` (write buffer / local cache).
+    pub lstore: u64,
+    /// `RStore` to a remote owner's cache.
+    pub rstore_remote: u64,
+    /// `MStore` to local memory.
+    pub mstore_local: u64,
+    /// `MStore` to remote memory.
+    pub mstore_remote: u64,
+    /// `LFlush` (drain one level).
+    pub lflush: u64,
+    /// `RFlush` of a locally-homed line.
+    pub rflush_local: u64,
+    /// `RFlush` of a remotely-homed line.
+    pub rflush_remote: u64,
+    /// RMW premium added on top of the matching store cost.
+    pub rmw_extra: u64,
+    /// Issuing an asynchronous flush request (`AFlush`, the `CLFLUSHOPT`
+    /// analogue of the `CXL0_AF` extension): just a buffer enqueue.
+    pub aflush_issue: u64,
+    /// Fixed overhead of a `Barrier` (the `SFENCE` analogue), before any
+    /// pending write-backs are waited for.
+    pub barrier_base: u64,
+    /// Incremental per-line cost of each *additional* write-back retired
+    /// under one barrier: pending flushes overlap on the link, so `n`
+    /// lines cost one full `RFlush` plus `n-1` of these, not `n` full
+    /// round trips.
+    pub flush_pipelined: u64,
+}
+
+impl CostModel {
+    /// Calibrated to the ratios reported in §5.2 / Figure 5 of the paper
+    /// (median ns; the absolute scale is the paper's CPU-side numbers).
+    pub fn figure5() -> Self {
+        CostModel {
+            load_local: 110,
+            load_remote: 258,    // ≈ 2.34× load_local (paper: host 2.34×)
+            lstore: 12,          // write buffer
+            rstore_remote: 115,  // device RStore ≈ 2.08× its LStore
+            mstore_local: 170,   // NT store + fence
+            mstore_remote: 400,  // ≈ 2.3× local MStore
+            lflush: 60,
+            rflush_local: 175,   // ≈ MStore (paper: RFlush ≈ MStore)
+            rflush_remote: 395,
+            rmw_extra: 30,
+            aflush_issue: 8,     // buffer enqueue, no link traffic
+            barrier_base: 30,    // fence overhead
+            flush_pipelined: 90, // overlapped write-backs ≪ a full RFlush
+        }
+    }
+
+    /// A zero-cost model (no simulated time accounting).
+    pub fn free() -> Self {
+        CostModel {
+            load_local: 0,
+            load_remote: 0,
+            lstore: 0,
+            rstore_remote: 0,
+            mstore_local: 0,
+            mstore_remote: 0,
+            lflush: 0,
+            rflush_local: 0,
+            rflush_remote: 0,
+            rmw_extra: 0,
+            aflush_issue: 0,
+            barrier_base: 0,
+            flush_pipelined: 0,
+        }
+    }
+
+    /// The cost of one primitive; `local` is true when the issuer owns the
+    /// target line.
+    pub fn cost(&self, p: Primitive, local: bool) -> u64 {
+        match (p, local) {
+            (Primitive::Load, true) => self.load_local,
+            (Primitive::Load, false) => self.load_remote,
+            (Primitive::LStore, _) => self.lstore,
+            (Primitive::RStore, true) => self.lstore, // owner RStore ≡ LStore
+            (Primitive::RStore, false) => self.rstore_remote,
+            (Primitive::MStore, true) => self.mstore_local,
+            (Primitive::MStore, false) => self.mstore_remote,
+            (Primitive::LFlush, _) => self.lflush,
+            (Primitive::RFlush, true) => self.rflush_local,
+            (Primitive::RFlush, false) => self.rflush_remote,
+            (Primitive::Gpf, _) => self.rflush_remote * 4,
+            (Primitive::LRmw, l) => self.cost(Primitive::LStore, l) + self.rmw_extra,
+            (Primitive::RRmw, l) => self.cost(Primitive::RStore, l) + self.rmw_extra,
+            (Primitive::MRmw, l) => self.cost(Primitive::MStore, l) + self.rmw_extra,
+            (Primitive::Crash, _) => 0,
+        }
+    }
+
+    /// The cost of a `Barrier` that retires write-backs for the given
+    /// per-line full-`RFlush` costs: the slowest line is paid in full, the
+    /// rest overlap at [`CostModel::flush_pipelined`] each.
+    pub fn barrier_cost(&self, line_costs: &[u64]) -> u64 {
+        match line_costs.iter().max() {
+            None => self.barrier_base,
+            Some(&max) => {
+                self.barrier_base + max + self.flush_pipelined * (line_costs.len() as u64 - 1)
+            }
+        }
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::figure5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure5_ratios_hold() {
+        let c = CostModel::figure5();
+        let r = c.load_remote as f64 / c.load_local as f64;
+        assert!((2.0..2.7).contains(&r), "remote/local load ratio {r}");
+        assert!(c.rflush_local.abs_diff(c.mstore_local) < 20);
+        assert!(c.rstore_remote > c.lstore);
+        assert!(c.mstore_remote > c.rstore_remote);
+    }
+
+    #[test]
+    fn owner_rstore_costs_like_lstore() {
+        let c = CostModel::figure5();
+        assert_eq!(c.cost(Primitive::RStore, true), c.cost(Primitive::LStore, true));
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let c = CostModel::free();
+        for p in Primitive::ISSUED {
+            assert_eq!(c.cost(p, true), 0);
+            assert_eq!(c.cost(p, false), 0);
+        }
+    }
+
+    #[test]
+    fn rmw_adds_premium() {
+        let c = CostModel::figure5();
+        assert_eq!(
+            c.cost(Primitive::MRmw, false),
+            c.cost(Primitive::MStore, false) + c.rmw_extra
+        );
+    }
+
+    #[test]
+    fn barrier_cost_pipelines_after_the_slowest_line() {
+        let c = CostModel::figure5();
+        assert_eq!(c.barrier_cost(&[]), c.barrier_base);
+        assert_eq!(
+            c.barrier_cost(&[c.rflush_remote]),
+            c.barrier_base + c.rflush_remote
+        );
+        let three = c.barrier_cost(&[c.rflush_remote, c.rflush_local, c.rflush_remote]);
+        assert_eq!(
+            three,
+            c.barrier_base + c.rflush_remote + 2 * c.flush_pipelined
+        );
+        // Batching n lines under one barrier beats n synchronous RFlushes.
+        assert!(three < 3 * c.rflush_remote);
+    }
+}

@@ -1,0 +1,342 @@
+//! A durable lock-free sorted linked list (set) in the style of Harris:
+//! logical deletion via a mark bit in the `next` pointer, physical
+//! unlinking by helping traversals — FliT-transformed like the other
+//! structures, demonstrating the transformation on a pointer-chasing
+//! algorithm with two-phase removal.
+//!
+//! Node layout: `[key, next]`; the `next` cell packs `(pointer, mark)`.
+//! Keys must be non-zero and below `2^63` (the mark bit).
+
+use std::sync::Arc;
+
+use cxl0_model::Loc;
+
+use crate::backend::NodeHandle;
+use crate::error::OpResult;
+use crate::flit::Persistence;
+use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
+
+const MARK: u64 = 1 << 63;
+
+fn is_marked(raw: u64) -> bool {
+    raw & MARK != 0
+}
+
+fn unmark(raw: u64) -> u64 {
+    raw & !MARK
+}
+
+/// A durable sorted set of `u64` keys.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cxl0_runtime::{SimFabric, SharedHeap, DurableList, FlitCxl0};
+/// use cxl0_model::{SystemConfig, MachineId};
+///
+/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
+/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
+/// let list = DurableList::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+/// let node = fabric.node(MachineId(0));
+/// assert!(list.insert(&node, 5)?);
+/// assert!(!list.insert(&node, 5)?); // already present
+/// assert!(list.contains(&node, 5)?);
+/// assert!(list.remove(&node, 5)?);
+/// assert!(!list.contains(&node, 5)?);
+/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableList {
+    /// The head pointer cell (encoded pointer to the first node, or 0).
+    head: Loc,
+    heap: Arc<SharedHeap>,
+    persist: Arc<dyn Persistence>,
+}
+
+impl DurableList {
+    /// Allocates an empty list (one head cell); `None` if the heap is
+    /// exhausted.
+    pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
+        let head = heap.alloc(1)?;
+        Some(DurableList {
+            head,
+            heap: Arc::clone(heap),
+            persist,
+        })
+    }
+
+    /// Attaches to an existing list after recovery.
+    pub fn attach(head: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
+        DurableList {
+            head,
+            heap,
+            persist,
+        }
+    }
+
+    /// The head cell (for re-attachment).
+    pub fn head_cell(&self) -> Loc {
+        self.head
+    }
+
+    fn key_cell(&self, node: Loc) -> Loc {
+        node
+    }
+
+    fn next_cell(&self, node: Loc) -> Loc {
+        Loc::new(node.owner, node.addr.0 + 1)
+    }
+
+    /// Finds the first node with key ≥ `key`. Returns
+    /// `(pred_cell, expected_in_pred, found)` where `found` is the
+    /// encoded current node (0 at end of list) whose key, if any node, is
+    /// ≥ `key`. Helps unlink marked nodes on the way.
+    fn search(&self, node: &NodeHandle, key: u64) -> OpResult<(Loc, u64, Option<u64>)> {
+        'retry: loop {
+            let mut pred_cell = self.head;
+            let mut curr_enc = self.persist.shared_load(node, pred_cell, true)?;
+            loop {
+                debug_assert!(!is_marked(curr_enc), "pred link is never marked");
+                let Some(curr) = decode_ptr(self.heap.region(), curr_enc) else {
+                    return Ok((pred_cell, curr_enc, None));
+                };
+                let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
+                if is_marked(next_raw) {
+                    // Help unlink the logically-deleted node.
+                    if self
+                        .persist
+                        .shared_cas(node, pred_cell, curr_enc, unmark(next_raw), true)?
+                        .is_err()
+                    {
+                        continue 'retry;
+                    }
+                    curr_enc = unmark(next_raw);
+                    continue;
+                }
+                let k = self.persist.shared_load(node, self.key_cell(curr), true)?;
+                if k >= key {
+                    return Ok((pred_cell, curr_enc, Some(k)));
+                }
+                pred_cell = self.next_cell(curr);
+                curr_enc = next_raw;
+            }
+        }
+    }
+
+    /// Inserts `key`; returns `false` if it was already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` is zero or has the mark bit set, or if the node
+    /// heap is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn insert(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+        assert!(key != 0 && key & MARK == 0, "key out of range");
+        loop {
+            let (pred_cell, curr_enc, found) = self.search(node, key)?;
+            if found == Some(key) {
+                self.persist.complete_op(node)?;
+                return Ok(false);
+            }
+            let n = self.heap.alloc(2).expect("list heap exhausted");
+            // Initialize privately; persist before publication.
+            self.persist.private_store(node, self.key_cell(n), key, true)?;
+            self.persist.private_store(node, self.next_cell(n), curr_enc, true)?;
+            if self
+                .persist
+                .shared_cas(node, pred_cell, curr_enc, encode_ptr(n), true)?
+                .is_ok()
+            {
+                self.persist.complete_op(node)?;
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn remove(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+        loop {
+            let (pred_cell, curr_enc, found) = self.search(node, key)?;
+            if found != Some(key) {
+                self.persist.complete_op(node)?;
+                return Ok(false);
+            }
+            let curr = decode_ptr(self.heap.region(), curr_enc).expect("found implies node");
+            let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
+            if is_marked(next_raw) {
+                continue; // someone else is removing it; retry from search
+            }
+            // Logical deletion: set the mark (this is the linearization
+            // point, persisted by the FliT CAS wrapper).
+            if self
+                .persist
+                .shared_cas(node, self.next_cell(curr), next_raw, next_raw | MARK, true)?
+                .is_err()
+            {
+                continue;
+            }
+            // Best-effort physical unlink; traversals will help if we fail.
+            let _ = self
+                .persist
+                .shared_cas(node, pred_cell, curr_enc, next_raw, true)?;
+            self.persist.complete_op(node)?;
+            return Ok(true);
+        }
+    }
+
+    /// Membership test.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn contains(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+        let (_, curr_enc, found) = self.search(node, key)?;
+        let _ = curr_enc;
+        self.persist.complete_op(node)?;
+        Ok(found == Some(key))
+    }
+
+    /// Snapshot of the keys in order (single-threaded helper).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn keys(&self, node: &NodeHandle) -> OpResult<Vec<u64>> {
+        let mut out = Vec::new();
+        let mut curr_enc = unmark(self.persist.shared_load(node, self.head, true)?);
+        while curr_enc != NULL_PTR {
+            let curr = decode_ptr(self.heap.region(), curr_enc).expect("non-null");
+            let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
+            if !is_marked(next_raw) {
+                out.push(self.persist.shared_load(node, self.key_cell(curr), true)?);
+            }
+            curr_enc = unmark(next_raw);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimFabric;
+    use crate::flit::FlitCxl0;
+    use cxl0_model::{MachineId, SystemConfig};
+
+    fn setup() -> (Arc<SimFabric>, DurableList) {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 14));
+        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
+        let l = DurableList::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        (f, l)
+    }
+
+    #[test]
+    fn sorted_insert_and_lookup() {
+        let (f, l) = setup();
+        let node = f.node(MachineId(0));
+        for k in [5u64, 1, 9, 3, 7] {
+            assert!(l.insert(&node, k).unwrap());
+        }
+        assert_eq!(l.keys(&node).unwrap(), vec![1, 3, 5, 7, 9]);
+        assert!(l.contains(&node, 3).unwrap());
+        assert!(!l.contains(&node, 4).unwrap());
+        assert!(!l.insert(&node, 7).unwrap()); // duplicate
+    }
+
+    #[test]
+    fn remove_unlinks_logically_and_physically() {
+        let (f, l) = setup();
+        let node = f.node(MachineId(0));
+        for k in 1..=5u64 {
+            l.insert(&node, k).unwrap();
+        }
+        assert!(l.remove(&node, 3).unwrap());
+        assert!(!l.remove(&node, 3).unwrap());
+        assert_eq!(l.keys(&node).unwrap(), vec![1, 2, 4, 5]);
+        // Re-insert after removal works (fresh node).
+        assert!(l.insert(&node, 3).unwrap());
+        assert_eq!(l.keys(&node).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts() {
+        let (f, l) = setup();
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let l = l.clone();
+            let node = f.node(MachineId((t % 2) as usize));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    assert!(l.insert(&node, t * 1000 + i + 1).unwrap());
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let node = f.node(MachineId(0));
+        let keys = l.keys(&node).unwrap();
+        assert_eq!(keys.len(), 400);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_same_keys() {
+        let (f, l) = setup();
+        let node0 = f.node(MachineId(0));
+        for k in 1..=64u64 {
+            l.insert(&node0, k).unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let l = l.clone();
+            let node = f.node(MachineId(t % 2));
+            handles.push(std::thread::spawn(move || {
+                for round in 0..50u64 {
+                    let k = (round * 7 + t as u64 * 13) % 64 + 1;
+                    if (round + t as u64) % 2 == 0 {
+                        let _ = l.remove(&node, k).unwrap();
+                    } else {
+                        let _ = l.insert(&node, k).unwrap();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // The list must still be sorted and duplicate-free.
+        let keys = l.keys(&node0).unwrap();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
+    }
+
+    #[test]
+    fn contents_survive_memory_node_crash() {
+        let (f, l) = setup();
+        let node = f.node(MachineId(0));
+        for k in [2u64, 4, 6] {
+            l.insert(&node, k).unwrap();
+        }
+        l.remove(&node, 4).unwrap();
+        f.crash(MachineId(2));
+        f.recover(MachineId(2));
+        assert_eq!(l.keys(&node).unwrap(), vec![2, 6]);
+        assert!(!l.contains(&node, 4).unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "key out of range")]
+    fn zero_key_rejected() {
+        let (f, l) = setup();
+        let node = f.node(MachineId(0));
+        let _ = l.insert(&node, 0);
+    }
+}

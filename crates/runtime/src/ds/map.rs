@@ -1,0 +1,302 @@
+//! A durable fixed-capacity hash map with open addressing.
+//!
+//! Slot layout: `[key, value]` pairs in a power-of-two table. Keys are
+//! claimed once with CAS (`0` = empty; keys are never unclaimed), and each
+//! value cell then behaves as a per-key durable register with `0` meaning
+//! *absent* — so `insert`, `get` and `remove` all linearize on a single
+//! cell access and inherit durable linearizability directly from the
+//! FliT-wrapped register operations.
+//!
+//! Restrictions (documented API contract): keys and values must be
+//! non-zero; capacity is fixed at creation; removals do not free slots
+//! (the key stays claimed for future re-inserts).
+
+use std::sync::Arc;
+
+use cxl0_model::Loc;
+
+use crate::backend::NodeHandle;
+use crate::error::OpResult;
+use crate::flit::Persistence;
+use crate::heap::SharedHeap;
+
+/// Key sentinel for an unclaimed slot.
+const EMPTY_KEY: u64 = 0;
+/// Value sentinel for "no binding".
+const ABSENT: u64 = 0;
+
+/// A durable lock-free hash map from non-zero `u64` keys to non-zero
+/// `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cxl0_runtime::{SimFabric, SharedHeap, DurableMap, FlitCxl0};
+/// use cxl0_model::{SystemConfig, MachineId};
+///
+/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
+/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
+/// let map = DurableMap::create(&heap, 64, Arc::new(FlitCxl0::default())).unwrap();
+/// let node = fabric.node(MachineId(0));
+/// assert_eq!(map.insert(&node, 5, 50)?, Some(None));
+/// assert_eq!(map.get(&node, 5)?, Some(50));
+/// assert_eq!(map.remove(&node, 5)?, Some(50));
+/// assert_eq!(map.get(&node, 5)?, None);
+/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableMap {
+    base: Loc,
+    capacity: u32,
+    persist: Arc<dyn Persistence>,
+}
+
+impl DurableMap {
+    /// Allocates a map with `capacity` slots (rounded up to a power of
+    /// two) from `heap`; `None` if the heap is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn create(
+        heap: &Arc<SharedHeap>,
+        capacity: u32,
+        persist: Arc<dyn Persistence>,
+    ) -> Option<Self> {
+        assert!(capacity > 0, "capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        let base = heap.alloc(capacity * 2)?;
+        Some(DurableMap {
+            base,
+            capacity,
+            persist,
+        })
+    }
+
+    /// Attaches to an existing map after recovery.
+    pub fn attach(base: Loc, capacity: u32, persist: Arc<dyn Persistence>) -> Self {
+        DurableMap {
+            base,
+            capacity: capacity.next_power_of_two(),
+            persist,
+        }
+    }
+
+    /// The base cell and capacity (for re-attachment).
+    pub fn layout(&self) -> (Loc, u32) {
+        (self.base, self.capacity)
+    }
+
+    fn key_cell(&self, slot: u32) -> Loc {
+        Loc::new(self.base.owner, self.base.addr.0 + slot * 2)
+    }
+
+    fn value_cell(&self, slot: u32) -> Loc {
+        Loc::new(self.base.owner, self.base.addr.0 + slot * 2 + 1)
+    }
+
+    fn hash(&self, key: u64) -> u32 {
+        (key.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as u32 & (self.capacity - 1)
+    }
+
+    /// Finds the slot for `key`, claiming one if `claim` and the key is
+    /// not yet present. Returns `None` (inside the crash result) if the
+    /// table is full or the key is absent and `claim` is false.
+    fn find_slot(&self, node: &NodeHandle, key: u64, claim: bool) -> OpResult<Option<u32>> {
+        let start = self.hash(key);
+        for probe in 0..self.capacity {
+            let slot = (start + probe) & (self.capacity - 1);
+            let k = self.persist.shared_load(node, self.key_cell(slot), true)?;
+            if k == key {
+                return Ok(Some(slot));
+            }
+            if k == EMPTY_KEY {
+                if !claim {
+                    return Ok(None);
+                }
+                match self
+                    .persist
+                    .shared_cas(node, self.key_cell(slot), EMPTY_KEY, key, true)?
+                {
+                    Ok(_) => return Ok(Some(slot)),
+                    Err(actual) if actual == key => return Ok(Some(slot)),
+                    Err(_) => continue, // someone claimed it for another key
+                }
+            }
+        }
+        Ok(None)
+    }
+
+    /// Inserts or updates `key → value`. Returns `Some(previous)` on
+    /// success (where `previous` is the prior binding, if any), or `None`
+    /// if the table is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key` or `value` is zero (the sentinels).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn insert(&self, node: &NodeHandle, key: u64, value: u64) -> OpResult<Option<Option<u64>>> {
+        assert_ne!(key, EMPTY_KEY, "key 0 is reserved");
+        assert_ne!(value, ABSENT, "value 0 is reserved");
+        let Some(slot) = self.find_slot(node, key, true)? else {
+            return Ok(None);
+        };
+        // Swap the value cell atomically to learn the previous binding.
+        loop {
+            let old = self.persist.shared_load(node, self.value_cell(slot), true)?;
+            if self
+                .persist
+                .shared_cas(node, self.value_cell(slot), old, value, true)?
+                .is_ok()
+            {
+                self.persist.complete_op(node)?;
+                return Ok(Some(if old == ABSENT { None } else { Some(old) }));
+            }
+        }
+    }
+
+    /// Looks up `key`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn get(&self, node: &NodeHandle, key: u64) -> OpResult<Option<u64>> {
+        let Some(slot) = self.find_slot(node, key, false)? else {
+            self.persist.complete_op(node)?;
+            return Ok(None);
+        };
+        let v = self.persist.shared_load(node, self.value_cell(slot), true)?;
+        self.persist.complete_op(node)?;
+        Ok(if v == ABSENT { None } else { Some(v) })
+    }
+
+    /// Removes `key`, returning the removed binding.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn remove(&self, node: &NodeHandle, key: u64) -> OpResult<Option<u64>> {
+        let Some(slot) = self.find_slot(node, key, false)? else {
+            self.persist.complete_op(node)?;
+            return Ok(None);
+        };
+        loop {
+            let old = self.persist.shared_load(node, self.value_cell(slot), true)?;
+            if old == ABSENT {
+                self.persist.complete_op(node)?;
+                return Ok(None);
+            }
+            if self
+                .persist
+                .shared_cas(node, self.value_cell(slot), old, ABSENT, true)?
+                .is_ok()
+            {
+                self.persist.complete_op(node)?;
+                return Ok(Some(old));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimFabric;
+    use crate::flit::FlitCxl0;
+    use cxl0_model::{MachineId, SystemConfig};
+
+    fn setup(cap: u32) -> (Arc<SimFabric>, DurableMap) {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 4096));
+        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
+        let m = DurableMap::create(&heap, cap, Arc::new(FlitCxl0::default())).unwrap();
+        (f, m)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let (f, m) = setup(16);
+        let node = f.node(MachineId(0));
+        assert_eq!(m.insert(&node, 1, 10).unwrap(), Some(None));
+        assert_eq!(m.insert(&node, 1, 20).unwrap(), Some(Some(10)));
+        assert_eq!(m.get(&node, 1).unwrap(), Some(20));
+        assert_eq!(m.remove(&node, 1).unwrap(), Some(20));
+        assert_eq!(m.get(&node, 1).unwrap(), None);
+        assert_eq!(m.remove(&node, 1).unwrap(), None);
+    }
+
+    #[test]
+    fn collisions_probe_linearly() {
+        let (f, m) = setup(4);
+        let node = f.node(MachineId(0));
+        // Insert more keys than distinct hash buckets to force probing.
+        for k in 1..=4u64 {
+            assert!(m.insert(&node, k, k * 10).unwrap().is_some());
+        }
+        for k in 1..=4u64 {
+            assert_eq!(m.get(&node, k).unwrap(), Some(k * 10));
+        }
+    }
+
+    #[test]
+    fn full_table_reports_none() {
+        let (f, m) = setup(2); // rounds to capacity 2
+        let node = f.node(MachineId(0));
+        assert!(m.insert(&node, 1, 1).unwrap().is_some());
+        assert!(m.insert(&node, 2, 2).unwrap().is_some());
+        assert_eq!(m.insert(&node, 3, 3).unwrap(), None);
+    }
+
+    #[test]
+    fn contents_survive_crash() {
+        let (f, m) = setup(16);
+        let node = f.node(MachineId(0));
+        for k in 1..=8u64 {
+            m.insert(&node, k, 100 + k).unwrap();
+        }
+        m.remove(&node, 3).unwrap();
+        f.crash(MachineId(2));
+        f.recover(MachineId(2));
+        for k in 1..=8u64 {
+            let expect = if k == 3 { None } else { Some(100 + k) };
+            assert_eq!(m.get(&node, k).unwrap(), expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_distinct_keys() {
+        let (f, m) = setup(256);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let m = m.clone();
+            let node = f.node(MachineId((t % 2) as usize));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    let k = t * 100 + i + 1;
+                    m.insert(&node, k, k * 2).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let node = f.node(MachineId(0));
+        for t in 0..4u64 {
+            for i in 0..50 {
+                let k = t * 100 + i + 1;
+                assert_eq!(m.get(&node, k).unwrap(), Some(k * 2));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key 0 is reserved")]
+    fn zero_key_rejected() {
+        let (f, m) = setup(4);
+        let node = f.node(MachineId(0));
+        let _ = m.insert(&node, 0, 1);
+    }
+}

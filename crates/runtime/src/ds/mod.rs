@@ -1,0 +1,25 @@
+//! Durable data structures built from linearizable algorithms via the
+//! FliT wrappers (§6): every shared memory access goes through a
+//! [`Persistence`](crate::flit::Persistence) strategy, so the same
+//! algorithm code can run durably (Alg. 2), naively (all-`MStore`),
+//! unsoundly (unadapted x86 FliT) or without durability, for comparison.
+//!
+//! All structures are non-blocking (CAS-based), as FliT assumes for
+//! liveness, and never recycle nodes (no ABA; persistent memory
+//! reclamation is out of scope, as in the original FliT work).
+
+pub mod counter;
+pub mod list;
+pub mod log;
+pub mod map;
+pub mod queue;
+pub mod register;
+pub mod stack;
+
+pub use counter::DurableCounter;
+pub use list::DurableList;
+pub use log::{DurableLog, SlotState};
+pub use map::DurableMap;
+pub use queue::DurableQueue;
+pub use register::DurableRegister;
+pub use stack::DurableStack;

@@ -1,0 +1,241 @@
+//! A durable Treiber stack: the classic lock-free stack, FliT-transformed.
+//!
+//! Node layout: `[value, next]`. New nodes are initialized with
+//! `private_store` (nobody can see them before the publishing CAS; the
+//! persistence flag makes them durable *before* publication, as FliT
+//! requires), then published with `shared_cas` on the `top` pointer.
+
+use std::sync::Arc;
+
+use cxl0_model::Loc;
+
+use crate::backend::NodeHandle;
+use crate::error::OpResult;
+use crate::flit::Persistence;
+use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
+
+/// A durable lock-free LIFO stack of `u64` values.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use cxl0_runtime::{SimFabric, SharedHeap, DurableStack, FlitCxl0};
+/// use cxl0_model::{SystemConfig, MachineId};
+///
+/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 64));
+/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
+/// let stack = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+/// let node = fabric.node(MachineId(0));
+/// stack.push(&node, 1)?;
+/// stack.push(&node, 2)?;
+/// assert_eq!(stack.pop(&node)?, Some(2));
+/// assert_eq!(stack.pop(&node)?, Some(1));
+/// assert_eq!(stack.pop(&node)?, None);
+/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableStack {
+    top: Loc,
+    heap: Arc<SharedHeap>,
+    persist: Arc<dyn Persistence>,
+}
+
+impl DurableStack {
+    /// Allocates an empty stack (one `top` cell) from `heap`; `None` if
+    /// the heap is exhausted.
+    pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
+        let top = heap.alloc(1)?;
+        Some(DurableStack {
+            top,
+            heap: Arc::clone(heap),
+            persist,
+        })
+    }
+
+    /// Attaches to an existing stack after recovery: the `top` cell and
+    /// the node heap region are all the state there is.
+    pub fn attach(top: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
+        DurableStack { top, heap, persist }
+    }
+
+    /// The `top` pointer cell (for re-attachment).
+    pub fn top_cell(&self) -> Loc {
+        self.top
+    }
+
+    fn value_cell(&self, node: Loc) -> Loc {
+        node
+    }
+
+    fn next_cell(&self, node: Loc) -> Loc {
+        Loc::new(node.owner, node.addr.0 + 1)
+    }
+
+    /// Pushes `v`. Returns `false` (without error) if the node heap is
+    /// exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn push(&self, node: &NodeHandle, v: u64) -> OpResult<bool> {
+        let Some(n) = self.heap.alloc(2) else {
+            return Ok(false);
+        };
+        // Initialize privately; persist before publication.
+        self.persist.private_store(node, self.value_cell(n), v, true)?;
+        loop {
+            let top = self.persist.shared_load(node, self.top, true)?;
+            self.persist.private_store(node, self.next_cell(n), top, true)?;
+            match self
+                .persist
+                .shared_cas(node, self.top, top, encode_ptr(n), true)?
+            {
+                Ok(_) => {
+                    self.persist.complete_op(node)?;
+                    return Ok(true);
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Pops the top value, or `None` when empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn pop(&self, node: &NodeHandle) -> OpResult<Option<u64>> {
+        loop {
+            let top = self.persist.shared_load(node, self.top, true)?;
+            let Some(t) = decode_ptr(self.heap.region(), top) else {
+                self.persist.complete_op(node)?;
+                return Ok(None);
+            };
+            let next = self.persist.shared_load(node, self.next_cell(t), true)?;
+            let v = self.persist.shared_load(node, self.value_cell(t), true)?;
+            match self.persist.shared_cas(node, self.top, top, next, true)? {
+                Ok(_) => {
+                    self.persist.complete_op(node)?;
+                    return Ok(Some(v));
+                }
+                Err(_) => continue,
+            }
+        }
+    }
+
+    /// Drains the stack into a vector (single-threaded helper for tests
+    /// and recovery inspection).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn drain(&self, node: &NodeHandle) -> OpResult<Vec<u64>> {
+        let mut out = Vec::new();
+        while let Some(v) = self.pop(node)? {
+            out.push(v);
+        }
+        Ok(out)
+    }
+
+    /// Number of elements (O(n) walk; concurrent-unsafe snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn len(&self, node: &NodeHandle) -> OpResult<usize> {
+        let mut n = 0;
+        let mut cur = self.persist.shared_load(node, self.top, true)?;
+        while cur != NULL_PTR {
+            n += 1;
+            let c = decode_ptr(self.heap.region(), cur).expect("non-null decodes");
+            cur = self.persist.shared_load(node, self.next_cell(c), true)?;
+        }
+        Ok(n)
+    }
+
+    /// True if the stack is empty.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn is_empty(&self, node: &NodeHandle) -> OpResult<bool> {
+        Ok(self.persist.shared_load(node, self.top, true)? == NULL_PTR)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SimFabric;
+    use crate::flit::FlitCxl0;
+    use cxl0_model::{MachineId, SystemConfig};
+    use std::collections::HashSet;
+
+    fn setup() -> (Arc<SimFabric>, DurableStack) {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 4096));
+        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
+        let s = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        (f, s)
+    }
+
+    #[test]
+    fn lifo_order_single_thread() {
+        let (f, s) = setup();
+        let node = f.node(MachineId(0));
+        for v in 1..=5 {
+            assert!(s.push(&node, v).unwrap());
+        }
+        assert_eq!(s.len(&node).unwrap(), 5);
+        assert_eq!(s.drain(&node).unwrap(), vec![5, 4, 3, 2, 1]);
+        assert!(s.is_empty(&node).unwrap());
+    }
+
+    #[test]
+    fn concurrent_pushes_all_present() {
+        let (f, s) = setup();
+        let mut handles = Vec::new();
+        for t in 0..3u64 {
+            let s = s.clone();
+            let node = f.node(MachineId((t % 2) as usize));
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200 {
+                    s.push(&node, t * 1000 + i).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let node = f.node(MachineId(0));
+        let got: HashSet<u64> = s.drain(&node).unwrap().into_iter().collect();
+        assert_eq!(got.len(), 600);
+        for t in 0..3u64 {
+            for i in 0..200 {
+                assert!(got.contains(&(t * 1000 + i)));
+            }
+        }
+    }
+
+    #[test]
+    fn contents_survive_memory_node_crash() {
+        let (f, s) = setup();
+        let node = f.node(MachineId(0));
+        for v in [10, 20, 30] {
+            s.push(&node, v).unwrap();
+        }
+        f.crash(MachineId(2));
+        f.recover(MachineId(2));
+        assert_eq!(s.drain(&node).unwrap(), vec![30, 20, 10]);
+    }
+
+    #[test]
+    fn heap_exhaustion_reports_false() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(1, 3));
+        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(0)));
+        let s = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        let node = f.node(MachineId(0));
+        assert!(s.push(&node, 1).unwrap());
+        assert!(!s.push(&node, 2).unwrap()); // out of cells
+    }
+}

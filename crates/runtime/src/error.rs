@@ -1,0 +1,38 @@
+//! Runtime errors.
+
+use std::fmt;
+
+use cxl0_model::MachineId;
+
+/// The issuing machine has crashed: the operation did not take place and
+/// the calling thread must terminate (a new thread will be spawned on
+/// recovery, per the paper's failure model).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crashed {
+    /// The machine whose crash interrupted the operation.
+    pub machine: MachineId,
+}
+
+impl fmt::Display for Crashed {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "machine {} has crashed", self.machine)
+    }
+}
+
+impl std::error::Error for Crashed {}
+
+/// Result alias for operations that fail only by machine crash.
+pub type OpResult<T> = Result<T, Crashed>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_machine() {
+        let e = Crashed {
+            machine: MachineId(2),
+        };
+        assert_eq!(e.to_string(), "machine m2 has crashed");
+    }
+}

@@ -1,0 +1,80 @@
+//! # `cxl0-runtime` — an executable CXL0 runtime with the FliT
+//! transformation
+//!
+//! This crate makes the paper's §6 runnable:
+//!
+//! * [`backend`] — [`SimFabric`], a thread-safe, multi-machine
+//!   implementation of the CXL0 semantics with crash injection, eviction
+//!   (`τ`) simulation, per-primitive statistics and a simulated-latency
+//!   cost model. Each operation is an atomic application of one model
+//!   transition; `tests/backend_vs_model.rs` checks the refinement against
+//!   `cxl0-model` mechanically.
+//! * [`flit`] — the FliT transformation adapted to CXL0 (Algorithm 2,
+//!   [`FlitCxl0`]), the §6.1 owner-flush optimisation ([`FlitOwnerOpt`]),
+//!   the *unadapted* x86 FliT ([`FlitX86`], deliberately unsound under
+//!   partial crashes), the naive all-`MStore` transformation
+//!   ([`NaiveMStore`]) and a no-durability baseline ([`NoPersistence`]) —
+//!   all behind the [`Persistence`] trait.
+//! * [`flit_async`] — [`FlitAsync`], the original Algorithm 1 transplanted
+//!   onto the `CXL0_AF` asynchronous-flush extension (`AFlush`/`Barrier` on
+//!   [`NodeHandle`]): deferred helping flushes, synchronous store
+//!   persistence.
+//! * [`buffered`] — [`BufferedEpoch`], the §8 durability relaxation:
+//!   flush-free fast path, ping-pong snapshot syncs, rollback recovery;
+//!   *buffered* durably linearizable (`cxl0-dlcheck::buffered`).
+//! * [`ds`] — durable data structures written once against
+//!   [`Persistence`]: register, counter, Treiber stack, Michael–Scott
+//!   queue, hash map.
+//! * [`heap`] — a bump allocator over a machine's shared segment.
+//! * [`cost`] — simulated per-primitive latencies (Figure-5 shaped).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use cxl0_runtime::{SimFabric, SharedHeap, DurableQueue, FlitCxl0};
+//! use cxl0_model::{SystemConfig, MachineId};
+//!
+//! // Two compute nodes + one NVM memory node.
+//! let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1024));
+//! let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
+//! let queue = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+//! let node = fabric.node(MachineId(0));
+//! queue.init(&node)?;
+//! queue.enqueue(&node, 7)?;
+//!
+//! // The memory node crashes; NVM contents survive, caches do not —
+//! // but FliT persisted the enqueue before it returned.
+//! fabric.crash(MachineId(2));
+//! fabric.recover(MachineId(2));
+//! queue.recover(&node)?;
+//! assert_eq!(queue.dequeue(&node)?, Some(7));
+//! # Ok::<(), cxl0_runtime::Crashed>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod backend;
+pub mod buffered;
+pub mod cost;
+pub mod ds;
+pub mod error;
+pub mod flit;
+pub mod flit_async;
+pub mod heap;
+pub mod snapshot;
+
+pub use backend::{NodeHandle, SimFabric, Stats, StatsSnapshot};
+pub use buffered::BufferedEpoch;
+pub use cost::CostModel;
+pub use ds::{
+    DurableCounter, DurableList, DurableLog, DurableMap, DurableQueue, DurableRegister,
+    DurableStack, SlotState,
+};
+pub use error::{Crashed, OpResult};
+pub use flit::{FlitCxl0, FlitOwnerOpt, FlitTable, FlitX86, NaiveMStore, NoPersistence, Persistence};
+pub use flit_async::FlitAsync;
+pub use heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
+pub use snapshot::{take_gpf_snapshot, MemorySnapshot};

@@ -1,0 +1,298 @@
+//! # `cxl0-workloads` — deterministic workload generation
+//!
+//! Key distributions and operation mixes for the §6 performance
+//! experiments (E8 in DESIGN.md): uniform and zipfian key streams, and
+//! configurable read/insert/remove mixes, all seeded for reproducibility.
+//!
+//! ```
+//! use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
+//!
+//! let mut w = Workload::new(KeyDist::zipfian(1000, 0.99), OpMix::read_heavy(), 42);
+//! let ops: Vec<WorkloadOp> = (0..100).map(|_| w.next_op()).collect();
+//! assert_eq!(ops.len(), 100);
+//! assert!(ops.iter().all(|op| op.key() >= 1 && op.key() <= 1000));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A key distribution over `1..=n` (keys are non-zero, matching the
+/// durable map's contract).
+#[derive(Debug, Clone)]
+pub enum KeyDist {
+    /// Uniform over `1..=n`.
+    Uniform {
+        /// Number of distinct keys.
+        n: u64,
+    },
+    /// Zipfian over `1..=n` with exponent `theta`, via a precomputed CDF
+    /// table (exact inverse-CDF sampling; `n` is expected to be ≤ ~10⁶).
+    Zipfian {
+        /// Number of distinct keys.
+        n: u64,
+        /// The skew exponent (0 = uniform, 0.99 = YCSB default).
+        theta: f64,
+        /// Cumulative probabilities, `cdf[i] = P(key ≤ i+1)`.
+        cdf: Vec<f64>,
+    },
+}
+
+impl KeyDist {
+    /// Uniform over `1..=n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn uniform(n: u64) -> Self {
+        assert!(n > 0, "need at least one key");
+        KeyDist::Uniform { n }
+    }
+
+    /// Zipfian over `1..=n` with exponent `theta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `theta` is negative.
+    pub fn zipfian(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "need at least one key");
+        assert!(theta >= 0.0, "theta must be non-negative");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        KeyDist::Zipfian { n, theta, cdf }
+    }
+
+    /// The number of distinct keys.
+    pub fn num_keys(&self) -> u64 {
+        match self {
+            KeyDist::Uniform { n } | KeyDist::Zipfian { n, .. } => *n,
+        }
+    }
+
+    /// Samples one key in `1..=n`.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match self {
+            KeyDist::Uniform { n } => rng.gen_range(1..=*n),
+            KeyDist::Zipfian { cdf, .. } => {
+                let u: f64 = rng.gen();
+                // Binary search the CDF for the first entry ≥ u.
+                let idx = cdf.partition_point(|&c| c < u);
+                (idx as u64 + 1).min(cdf.len() as u64)
+            }
+        }
+    }
+}
+
+/// Percentages of each operation type (must sum to 100).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpMix {
+    /// Percent of lookups.
+    pub read_pct: u8,
+    /// Percent of inserts/updates.
+    pub insert_pct: u8,
+    /// Percent of removals.
+    pub remove_pct: u8,
+}
+
+impl OpMix {
+    /// Builds a mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the percentages sum to 100.
+    pub fn new(read_pct: u8, insert_pct: u8, remove_pct: u8) -> Self {
+        assert_eq!(
+            read_pct as u32 + insert_pct as u32 + remove_pct as u32,
+            100,
+            "mix must sum to 100"
+        );
+        OpMix {
+            read_pct,
+            insert_pct,
+            remove_pct,
+        }
+    }
+
+    /// YCSB-B-like: 95% reads, 5% inserts.
+    pub fn read_heavy() -> Self {
+        OpMix::new(95, 5, 0)
+    }
+
+    /// YCSB-A-like: 50% reads, 50% inserts.
+    pub fn update_heavy() -> Self {
+        OpMix::new(50, 50, 0)
+    }
+
+    /// Insert/remove churn: 34% reads, 33% inserts, 33% removes.
+    pub fn churn() -> Self {
+        OpMix::new(34, 33, 33)
+    }
+
+    /// Write-only.
+    pub fn write_only() -> Self {
+        OpMix::new(0, 100, 0)
+    }
+}
+
+/// One generated operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Look up a key.
+    Read(u64),
+    /// Insert/update a key with a value.
+    Insert(u64, u64),
+    /// Remove a key.
+    Remove(u64),
+}
+
+impl WorkloadOp {
+    /// The key this operation touches.
+    pub fn key(&self) -> u64 {
+        match *self {
+            WorkloadOp::Read(k) | WorkloadOp::Insert(k, _) | WorkloadOp::Remove(k) => k,
+        }
+    }
+}
+
+/// A seeded operation stream.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    dist: KeyDist,
+    mix: OpMix,
+    rng: StdRng,
+    next_value: u64,
+}
+
+impl Workload {
+    /// Creates a stream with the given distribution, mix and seed.
+    pub fn new(dist: KeyDist, mix: OpMix, seed: u64) -> Self {
+        Workload {
+            dist,
+            mix,
+            rng: StdRng::seed_from_u64(seed),
+            next_value: 1,
+        }
+    }
+
+    /// The key distribution.
+    pub fn dist(&self) -> &KeyDist {
+        &self.dist
+    }
+
+    /// Generates the next operation.
+    pub fn next_op(&mut self) -> WorkloadOp {
+        let key = self.dist.sample(&mut self.rng);
+        let roll = self.rng.gen_range(0..100u8);
+        if roll < self.mix.read_pct {
+            WorkloadOp::Read(key)
+        } else if roll < self.mix.read_pct + self.mix.insert_pct {
+            self.next_value += 1;
+            WorkloadOp::Insert(key, self.next_value)
+        } else {
+            WorkloadOp::Remove(key)
+        }
+    }
+
+    /// Generates a batch of `n` operations.
+    pub fn take_ops(&mut self, n: usize) -> Vec<WorkloadOp> {
+        (0..n).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_covers_the_range() {
+        let d = KeyDist::uniform(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let k = d.sample(&mut rng);
+            assert!((1..=10).contains(&k));
+            seen.insert(k);
+        }
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn zipfian_is_skewed_toward_small_keys() {
+        let d = KeyDist::zipfian(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts: HashMap<u64, usize> = HashMap::new();
+        for _ in 0..20_000 {
+            *counts.entry(d.sample(&mut rng)).or_default() += 1;
+        }
+        let head: usize = (1..=10).map(|k| counts.get(&k).copied().unwrap_or(0)).sum();
+        // With theta=0.99 and n=1000, the top-10 keys draw ≈ 39% of mass.
+        assert!(
+            head as f64 / 20_000.0 > 0.25,
+            "zipfian head too light: {head}"
+        );
+    }
+
+    #[test]
+    fn zipfian_theta_zero_is_uniformish() {
+        let d = KeyDist::zipfian(4, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[(d.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn mix_percentages_respected() {
+        let mut w = Workload::new(KeyDist::uniform(100), OpMix::new(70, 20, 10), 4);
+        let ops = w.take_ops(10_000);
+        let reads = ops.iter().filter(|o| matches!(o, WorkloadOp::Read(_))).count();
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Insert(..)))
+            .count();
+        let removes = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Remove(_)))
+            .count();
+        assert!((6_500..7_500).contains(&reads), "{reads}");
+        assert!((1_500..2_500).contains(&inserts), "{inserts}");
+        assert!((500..1_500).contains(&removes), "{removes}");
+    }
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = Workload::new(KeyDist::zipfian(50, 0.8), OpMix::churn(), 9);
+        let mut b = Workload::new(KeyDist::zipfian(50, 0.8), OpMix::churn(), 9);
+        assert_eq!(a.take_ops(500), b.take_ops(500));
+    }
+
+    #[test]
+    fn keys_are_nonzero() {
+        let mut w = Workload::new(KeyDist::zipfian(10, 1.2), OpMix::update_heavy(), 5);
+        for op in w.take_ops(1000) {
+            assert!(op.key() >= 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_rejected() {
+        let _ = OpMix::new(50, 50, 50);
+    }
+}

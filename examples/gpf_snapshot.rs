@@ -1,0 +1,62 @@
+//! GPF-based checkpointing (§3.2): the Global Persistent Flush is too
+//! blunt for per-operation durability, but its *global and blocking*
+//! nature makes it exactly right for planned snapshots.
+//!
+//! A group of counters spread over two memory nodes is updated from two
+//! compute nodes with plain (unflushed) stores; a GPF snapshot then
+//! captures a consistent cut of the whole system. Both machines crash
+//! immediately afterwards — and the recovered state equals the snapshot,
+//! byte for byte. A second round shows `diff` between checkpoints.
+//!
+//! Run with: `cargo run --example gpf_snapshot`
+
+use cxl0::model::{Loc, MachineId, SystemConfig};
+use cxl0::runtime::{take_gpf_snapshot, SimFabric};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let m0 = MachineId(0);
+    let m1 = MachineId(1);
+    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
+    let n0 = fabric.node(m0);
+    let n1 = fabric.node(m1);
+
+    println!("=== Round 1: unflushed stores from both machines ===\n");
+    for a in 0..4 {
+        n0.lstore(Loc::new(m1, a), 100 + u64::from(a))?; // m0 writes m1's memory
+        n1.lstore(Loc::new(m0, a), 200 + u64::from(a))?; // m1 writes m0's memory
+    }
+    println!(
+        "before GPF: x[m1:a0] cached-but-not-persistent? {}",
+        fabric.is_cached(Loc::new(m1, 0))
+    );
+
+    let checkpoint1 = take_gpf_snapshot(&n0)?;
+    println!("GPF snapshot taken: {checkpoint1}");
+    println!(
+        "after GPF: x[m1:a0] cached? {} (drained to memory)",
+        fabric.is_cached(Loc::new(m1, 0))
+    );
+
+    println!("\n=== Both machines crash right after the checkpoint ===\n");
+    fabric.crash(m0);
+    fabric.crash(m1);
+    fabric.recover(m0);
+    fabric.recover(m1);
+
+    let mut intact = 0;
+    for (loc, v) in checkpoint1.iter() {
+        assert_eq!(fabric.peek_memory(loc), v, "{loc} diverged");
+        intact += 1;
+    }
+    println!("all {intact} locations recovered exactly as snapshotted");
+
+    println!("\n=== Round 2: more work, second checkpoint, diff ===\n");
+    n0.lstore(Loc::new(m1, 0), 999)?;
+    n1.mstore(Loc::new(m0, 7), 42)?;
+    let checkpoint2 = take_gpf_snapshot(&n0)?;
+    println!("changes between checkpoints:");
+    for (loc, before, after) in checkpoint1.diff(&checkpoint2) {
+        println!("  {loc}: {before} → {after}");
+    }
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! A durable multi-producer shared log over a disaggregated memory node —
+//! the kind of cloud data-management workload the paper's introduction
+//! motivates, built entirely from the public API.
+//!
+//! Three compute nodes append concurrently to one log hosted on an NVM
+//! memory node. One producer is killed mid-append (leaving a hole), then
+//! the memory node itself crashes. Recovery seals the hole Corfu-style and
+//! every append that completed — on any machine — is still there, in
+//! order: durable linearizability at work on an application-shaped object.
+//!
+//! Run with: `cargo run --example shared_log`
+
+use std::sync::Arc;
+
+use cxl0::model::{MachineId, StoreKind, SystemConfig};
+use cxl0::runtime::{DurableLog, FlitCxl0, SharedHeap, SimFabric, SlotState};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    const MEM: MachineId = MachineId(3);
+    let fabric = SimFabric::new(SystemConfig::new(vec![
+        cxl0::model::MachineConfig::compute_only(),
+        cxl0::model::MachineConfig::compute_only(),
+        cxl0::model::MachineConfig::compute_only(),
+        cxl0::model::MachineConfig::non_volatile(4096),
+    ]));
+    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
+    let log = DurableLog::create(&heap, 1024, Arc::new(FlitCxl0::default()))
+        .expect("heap fits the log");
+
+    println!("=== Phase 1: three producers append concurrently ===\n");
+    let mut handles = Vec::new();
+    for producer in 0..3usize {
+        let node = fabric.node(MachineId(producer));
+        let log = log.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut appended = 0;
+            for k in 0..20u64 {
+                let payload = (producer as u64) * 1000 + k;
+                if log.append(&node, payload).unwrap().is_some() {
+                    appended += 1;
+                }
+            }
+            appended
+        }));
+    }
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    let node = fabric.node(MachineId(0));
+    println!("{total} appends completed; frontier = {}", log.frontier(&node)?);
+
+    println!("\n=== Phase 2: a producer dies mid-append, then the memory node crashes ===\n");
+    // Producer 2 reserves a slot and crashes before its payload persists
+    // (simulated with raw primitives: a persistent reservation + an
+    // unflushed cached store).
+    let dying = fabric.node(MachineId(2));
+    let hole_idx = dying.faa(StoreKind::Memory, log_tail(&log), 1)?;
+    dying.lstore(log_slot(&log, hole_idx), 424243)?;
+    println!("producer 2 reserved slot {hole_idx} and crashed before persisting");
+    fabric.crash(MachineId(2));
+
+    // A healthy producer appends after the hole.
+    let after = log.append(&node, 777)?.expect("room");
+    println!("producer 0 appended 777 at slot {after} (past the hole)");
+
+    fabric.crash(MEM);
+    fabric.recover(MEM);
+    println!("memory node crashed and recovered");
+
+    println!("\n=== Phase 3: recovery ===\n");
+    let (committed, sealed) = log.recover(&node)?;
+    println!("recovery: {committed} committed entries, {sealed} hole(s) sealed as junk");
+    assert_eq!(sealed, 1);
+    assert_eq!(log.read(&node, hole_idx)?, SlotState::Junk);
+    assert_eq!(log.read(&node, after)?, SlotState::Value(777));
+
+    let entries = log.scan(&node)?;
+    println!("first 10 recovered entries:");
+    for (i, v) in entries.iter().take(10) {
+        println!("  [{i:>3}] {v}");
+    }
+    println!(
+        "... {} total; every completed append survived, the crashed one is junk",
+        entries.len()
+    );
+    assert_eq!(entries.len() as u64, committed);
+    Ok(())
+}
+
+// The example pokes one hole with raw primitives; these helpers expose the
+// log's internal cells the same way a crashed producer's partial append
+// would have touched them.
+fn log_tail(log: &DurableLog) -> cxl0::model::Loc {
+    log.tail_cell()
+}
+
+fn log_slot(log: &DurableLog, i: u64) -> cxl0::model::Loc {
+    log.slot_cell(i)
+}

@@ -1,0 +1,114 @@
+//! E5: Figure 5 — the latency sweep must reproduce the *shape* the paper
+//! reports (we do not chase absolute nanoseconds; the substrate is a
+//! simulator, not the authors' testbed):
+//!
+//! * local ≈ 2× faster than remote (host 2.34×, device 1.94×);
+//! * host and device remote accesses cost about the same;
+//! * device→HM ladder `LStore < RStore < MStore` at ≈ 1 : 2.08 : 3.0;
+//! * `RFlush ≈ MStore` wherever both exist;
+//! * exactly seven "not measurable" cells.
+
+use cxl0::fabric::{run_figure5, AccessPath, Figure5, LatencyConfig};
+use cxl0::protocol::CxlOp;
+
+fn fig() -> Figure5 {
+    run_figure5(&LatencyConfig::testbed(), 1000, 2024)
+}
+
+fn med(f: &Figure5, path: AccessPath, op: CxlOp) -> f64 {
+    f.median(path, op).unwrap_or_else(|| panic!("{path:?}/{op} missing")) as f64
+}
+
+#[test]
+fn host_local_vs_remote_read_ratio() {
+    let f = fig();
+    let ratio = med(&f, AccessPath::HostToHdm, CxlOp::Read) / med(&f, AccessPath::HostToHm, CxlOp::Read);
+    assert!((2.0..2.7).contains(&ratio), "host read ratio {ratio:.2} (paper: 2.34)");
+}
+
+#[test]
+fn device_local_vs_remote_read_ratio() {
+    let f = fig();
+    let ratio = med(&f, AccessPath::DeviceToHm, CxlOp::Read)
+        / med(&f, AccessPath::DeviceToHdmDeviceBias, CxlOp::Read);
+    assert!((1.6..2.4).contains(&ratio), "device read ratio {ratio:.2} (paper: 1.94)");
+}
+
+#[test]
+fn remote_reads_symmetric_across_protocols() {
+    // "accesses from the host and the device to their respective remote
+    // CXL memory yield the same latency, despite using different CXL
+    // sub-protocols."
+    let f = fig();
+    let h = med(&f, AccessPath::HostToHdm, CxlOp::Read);
+    let d = med(&f, AccessPath::DeviceToHm, CxlOp::Read);
+    let asym = h.max(d) / h.min(d);
+    assert!(asym < 1.3, "remote read asymmetry {asym:.2}");
+}
+
+#[test]
+fn device_store_ladder_to_hm() {
+    let f = fig();
+    let ls = med(&f, AccessPath::DeviceToHm, CxlOp::LStore);
+    let rs = med(&f, AccessPath::DeviceToHm, CxlOp::RStore);
+    let ms = med(&f, AccessPath::DeviceToHm, CxlOp::MStore);
+    let r1 = rs / ls;
+    let r2 = ms / rs;
+    assert!((1.7..2.5).contains(&r1), "RStore/LStore {r1:.2} (paper: 2.08)");
+    assert!((1.2..1.7).contains(&r2), "MStore/RStore {r2:.2} (paper: 1.45)");
+}
+
+#[test]
+fn rflush_approximates_mstore_everywhere() {
+    let f = fig();
+    for path in AccessPath::ALL {
+        let ms = med(&f, path, CxlOp::MStore);
+        let rf = med(&f, path, CxlOp::RFlush);
+        let ratio = ms.max(rf) / ms.min(rf);
+        assert!(ratio < 1.2, "{path:?}: MStore {ms} vs RFlush {rf}");
+    }
+}
+
+#[test]
+fn lstores_are_cheap_everywhere() {
+    let f = fig();
+    for path in AccessPath::ALL {
+        let ls = med(&f, path, CxlOp::LStore);
+        let rd = med(&f, path, CxlOp::Read);
+        assert!(ls < rd, "{path:?}: LStore {ls} should undercut Read {rd}");
+    }
+    // And the host's write buffer makes its LStore the cheapest bar in
+    // the figure:
+    let host = med(&f, AccessPath::HostToHm, CxlOp::LStore);
+    for path in [
+        AccessPath::DeviceToHm,
+        AccessPath::DeviceToHdmHostBias,
+        AccessPath::DeviceToHdmDeviceBias,
+    ] {
+        assert!(host < med(&f, path, CxlOp::LStore));
+    }
+}
+
+#[test]
+fn device_lstore_to_hm_slower_than_to_hdm() {
+    // §5.2: the IP's two caches differ; green LStore > purple/orange.
+    let f = fig();
+    let hm = med(&f, AccessPath::DeviceToHm, CxlOp::LStore);
+    assert!(med(&f, AccessPath::DeviceToHdmHostBias, CxlOp::LStore) < hm);
+    assert!(med(&f, AccessPath::DeviceToHdmDeviceBias, CxlOp::LStore) < hm);
+}
+
+#[test]
+fn seven_cells_not_measurable() {
+    assert_eq!(fig().not_measurable(), 7);
+}
+
+#[test]
+fn device_bias_is_never_slower_than_host_bias() {
+    let f = fig();
+    for op in [CxlOp::Read, CxlOp::LStore, CxlOp::RStore, CxlOp::MStore, CxlOp::RFlush] {
+        let hb = med(&f, AccessPath::DeviceToHdmHostBias, op);
+        let db = med(&f, AccessPath::DeviceToHdmDeviceBias, op);
+        assert!(db <= hb, "{op}: device-bias {db} > host-bias {hb}");
+    }
+}

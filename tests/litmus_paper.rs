@@ -1,0 +1,131 @@
+//! E1/E2/E6: the paper's litmus tests — Figure 3 (1–9), the §3.5 variant
+//! triples (10–12), and the §6 motivating example (13) — must all match
+//! the published verdicts, under every model variant where the paper
+//! states one.
+
+use cxl0::explore::litmus::run_suite;
+use cxl0::explore::{paper, Verdict};
+use cxl0::model::{Label, Loc, MachineId, ModelVariant, Semantics, SystemConfig, Trace, Val};
+use cxl0::explore::Explorer;
+
+#[test]
+fn full_paper_suite_matches() {
+    let report = run_suite(&paper::all_tests());
+    assert!(report.all_pass(), "litmus mismatches:\n{report}");
+    // 9 base verdicts + 3×3 variant verdicts + 1 motivating example.
+    assert_eq!(report.outcomes.len(), 9 + 9 + 1);
+}
+
+#[test]
+fn figure3_verdicts_individually() {
+    let expected = [
+        ("test-01", Verdict::Allowed),
+        ("test-02", Verdict::Forbidden),
+        ("test-03", Verdict::Forbidden),
+        ("test-04", Verdict::Allowed),
+        ("test-05", Verdict::Forbidden),
+        ("test-06", Verdict::Forbidden),
+        ("test-07", Verdict::Forbidden),
+        ("test-08", Verdict::Allowed),
+        ("test-09", Verdict::Forbidden),
+    ];
+    let tests = paper::figure3_tests();
+    assert_eq!(tests.len(), expected.len());
+    for (test, (name, verdict)) in tests.iter().zip(expected) {
+        assert_eq!(test.name, name);
+        assert_eq!(test.run(ModelVariant::Base), verdict, "{name}");
+    }
+}
+
+#[test]
+fn variant_triples_match_section_3_5() {
+    use Verdict::{Allowed as A, Forbidden as F};
+    let expected = [
+        ("test-10", [A, F, A]),
+        ("test-11", [A, F, A]),
+        ("test-12", [A, A, F]),
+    ];
+    let order = [ModelVariant::Base, ModelVariant::Lwb, ModelVariant::Psn];
+    for (test, (name, verdicts)) in paper::variant_tests().iter().zip(expected) {
+        assert_eq!(test.name, name);
+        for (&variant, verdict) in order.iter().zip(verdicts) {
+            assert_eq!(test.run(variant), verdict, "{name} under {variant}");
+        }
+    }
+}
+
+/// Test 4's dual: with an extra flush by the *owner* the value persists —
+/// exercising that litmus verdicts are sensitive to single labels.
+#[test]
+fn owner_flush_strengthens_test_4() {
+    let m1 = MachineId(0);
+    let m2 = MachineId(1);
+    let x2 = Loc::new(m2, 0);
+    let cfg = SystemConfig::symmetric_nvm(2, 1);
+    let sem = Semantics::new(cfg);
+    let exp = Explorer::new(&sem);
+    let trace = Trace::from_labels([
+        Label::lstore(m1, x2, Val(1)),
+        Label::lflush(m1, x2),
+        Label::lflush(m2, x2), // the owner's LFlush reaches memory
+        Label::crash(m2),
+        Label::load(m1, x2, Val(0)),
+    ]);
+    assert!(!exp.is_allowed(&trace), "owner LFlush must persist the value");
+}
+
+/// GPF makes everything durable before a crash (the paper's snapshot
+/// use case).
+#[test]
+fn gpf_drains_all_caches_before_crash() {
+    let m1 = MachineId(0);
+    let m2 = MachineId(1);
+    let cfg = SystemConfig::symmetric_nvm(2, 1);
+    let sem = Semantics::new(cfg);
+    let exp = Explorer::new(&sem);
+    let x1 = Loc::new(m1, 0);
+    let x2 = Loc::new(m2, 0);
+    let trace = Trace::from_labels([
+        Label::lstore(m1, x1, Val(1)),
+        Label::lstore(m1, x2, Val(2)),
+        Label::gpf(m1),
+        Label::crash(m1),
+        Label::crash(m2),
+        Label::load(m1, x1, Val(1)),
+        Label::load(m1, x2, Val(2)),
+    ]);
+    assert!(exp.is_allowed(&trace));
+    // And the complementary loss is impossible after the GPF:
+    let lossy = Trace::from_labels([
+        Label::lstore(m1, x1, Val(1)),
+        Label::gpf(m1),
+        Label::crash(m1),
+        Label::load(m1, x1, Val(0)),
+    ]);
+    assert!(!exp.is_allowed(&lossy));
+}
+
+/// RMW variants obey the same durability ladder as stores.
+#[test]
+fn rmw_durability_mirrors_store_strengths() {
+    use cxl0::model::StoreKind;
+    let m1 = MachineId(0);
+    let cfg = SystemConfig::symmetric_nvm(1, 1);
+    let sem = Semantics::new(cfg);
+    let exp = Explorer::new(&sem);
+    let x = Loc::new(m1, 0);
+    // L-RMW may be lost on crash:
+    let t = Trace::from_labels([
+        Label::rmw(StoreKind::Local, m1, x, Val(0), Val(1)),
+        Label::crash(m1),
+        Label::load(m1, x, Val(0)),
+    ]);
+    assert!(exp.is_allowed(&t));
+    // M-RMW may not:
+    let t = Trace::from_labels([
+        Label::rmw(StoreKind::Memory, m1, x, Val(0), Val(1)),
+        Label::crash(m1),
+        Label::load(m1, x, Val(0)),
+    ]);
+    assert!(!exp.is_allowed(&t));
+}

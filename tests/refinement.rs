@@ -1,0 +1,125 @@
+//! E10: the §3.5 refinement claims, checked with the bounded
+//! trace-refinement engine (our FDR4 substitute):
+//!
+//! 1. every trace of `CXL0_PSN` and of `CXL0_LWB` is a trace of `CXL0`;
+//! 2. the converse fails, with the paper's tests 10–12 as witnesses;
+//! 3. `CXL0_PSN` and `CXL0_LWB` are incomparable.
+
+use cxl0::explore::{check_refinement, incomparability_witnesses, AlphabetBuilder, Explorer};
+use cxl0::model::{
+    Label, MachineConfig, ModelVariant, Primitive, Semantics, SystemConfig, Val,
+};
+
+/// §3.5's configuration: machine 1 NVMM, machine 2 volatile.
+fn cfg() -> SystemConfig {
+    SystemConfig::new(vec![
+        MachineConfig::non_volatile(1),
+        MachineConfig::volatile(1),
+    ])
+}
+
+fn alphabet(cfg: &SystemConfig) -> Vec<Label> {
+    AlphabetBuilder::new(cfg)
+        .values([Val(0), Val(1)])
+        .primitives([
+            Primitive::LStore,
+            Primitive::RStore,
+            Primitive::Load,
+            Primitive::LFlush,
+            Primitive::Crash,
+        ])
+        .build()
+}
+
+#[test]
+fn variants_refine_base_to_depth_5() {
+    let cfg = cfg();
+    let alpha = alphabet(&cfg);
+    let base = Semantics::new(cfg.clone());
+    for v in [ModelVariant::Psn, ModelVariant::Lwb] {
+        let var = Semantics::with_variant(cfg.clone(), v);
+        let r = check_refinement(&var, &base, &alpha, 5);
+        assert!(
+            r.holds(),
+            "{v} ⋢ CXL0, witness: {:?}",
+            r.counterexample().map(ToString::to_string)
+        );
+    }
+}
+
+#[test]
+fn base_refines_neither_variant() {
+    let cfg = cfg();
+    let alpha = alphabet(&cfg);
+    let base = Semantics::new(cfg.clone());
+    for v in [ModelVariant::Psn, ModelVariant::Lwb] {
+        let var = Semantics::with_variant(cfg.clone(), v);
+        let r = check_refinement(&base, &var, &alpha, 5);
+        let witness = r.counterexample().expect("CXL0 must not refine the variants");
+        // The witness must itself be executable in base and not in the
+        // variant — double-check against the interpreter.
+        let base_exp = Explorer::new(&base);
+        assert!(base_exp.is_allowed(witness));
+        let var_exp = Explorer::new(&var);
+        assert!(!var_exp.is_allowed(witness));
+    }
+}
+
+#[test]
+fn psn_and_lwb_incomparable_with_verified_witnesses() {
+    let cfg = cfg();
+    let alpha = alphabet(&cfg);
+    let psn = Semantics::with_variant(cfg.clone(), ModelVariant::Psn);
+    let lwb = Semantics::with_variant(cfg.clone(), ModelVariant::Lwb);
+    let (p_not_l, l_not_p) = incomparability_witnesses(&psn, &lwb, &alpha, 5);
+    let p_not_l = p_not_l.expect("PSN trace forbidden by LWB");
+    let l_not_p = l_not_p.expect("LWB trace forbidden by PSN");
+    assert!(Explorer::new(&psn).is_allowed(&p_not_l));
+    assert!(!Explorer::new(&lwb).is_allowed(&p_not_l));
+    assert!(Explorer::new(&lwb).is_allowed(&l_not_p));
+    assert!(!Explorer::new(&psn).is_allowed(&l_not_p));
+}
+
+/// The paper's distinguishing tests are found by (and consistent with)
+/// the automated search: each test 10–12 trace is a base trace, and is
+/// rejected by exactly the variants the paper marks ✗.
+#[test]
+fn paper_tests_are_refinement_witnesses() {
+    use cxl0::explore::paper;
+    let tests = paper::variant_tests();
+    for t in &tests {
+        let base = Semantics::new(t.config.clone());
+        assert!(
+            Explorer::new(&base).is_allowed(&t.trace),
+            "{} must be a base trace",
+            t.name
+        );
+        for (variant, verdict) in &t.expected {
+            let sem = Semantics::with_variant(t.config.clone(), *variant);
+            let allowed = Explorer::new(&sem).is_allowed(&t.trace);
+            assert_eq!(
+                allowed,
+                *verdict == cxl0::explore::Verdict::Allowed,
+                "{} under {variant}",
+                t.name
+            );
+        }
+    }
+}
+
+/// Refinement is reflexive and reaches a fixpoint (HoldsUpToDepth(MAX))
+/// on identical models — a soundness check of the product construction.
+#[test]
+fn reflexivity_reaches_fixpoint() {
+    let cfg = cfg();
+    let alpha = alphabet(&cfg);
+    for v in ModelVariant::ALL {
+        let sem = Semantics::with_variant(cfg.clone(), v);
+        let r = check_refinement(&sem, &sem, &alpha, 64);
+        assert_eq!(
+            r,
+            cxl0::explore::Refinement::HoldsUpToDepth(usize::MAX),
+            "{v} self-refinement did not reach a fixpoint"
+        );
+    }
+}
