@@ -54,7 +54,10 @@ fn bench_helping(c: &mut Criterion) {
         let sync_rig = rig(k, || {
             let p = Arc::new(FlitCxl0::default());
             let q = Arc::clone(&p);
-            (p as Arc<dyn Persistence>, Box::new(move |l| q.raise_counter(l)))
+            (
+                p as Arc<dyn Persistence>,
+                Box::new(move |l| q.raise_counter(l)),
+            )
         });
         group.bench_with_input(BenchmarkId::new("flit-cxl0", k), &k, |b, _| {
             b.iter(|| helped_read_op(&sync_rig))
@@ -62,7 +65,10 @@ fn bench_helping(c: &mut Criterion) {
         let async_rig = rig(k, || {
             let p = Arc::new(FlitAsync::default());
             let q = Arc::clone(&p);
-            (p as Arc<dyn Persistence>, Box::new(move |l| q.raise_counter(l)))
+            (
+                p as Arc<dyn Persistence>,
+                Box::new(move |l| q.raise_counter(l)),
+            )
         });
         group.bench_with_input(BenchmarkId::new("flit-async", k), &k, |b, _| {
             b.iter(|| helped_read_op(&async_rig))

@@ -58,11 +58,9 @@ fn bench_buffered(c: &mut Criterion) {
     for interval in [4usize, 64] {
         let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 18));
         let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
-        let buffered = Arc::new(
-            BufferedEpoch::create(&heap, 8192, interval).expect("heap fits"),
-        );
-        let map = DurableMap::create(&heap, 1024, buffered as Arc<dyn Persistence>)
-            .expect("heap fits");
+        let buffered = Arc::new(BufferedEpoch::create(&heap, 8192, interval).expect("heap fits"));
+        let map =
+            DurableMap::create(&heap, 1024, buffered as Arc<dyn Persistence>).expect("heap fits");
         let mut r = Rig {
             fabric,
             map,

@@ -77,23 +77,19 @@ fn counter_striping(c: &mut Criterion) {
         let map = DurableMap::create(&heap, 4096, Arc::new(FlitCxl0::new(stripes))).unwrap();
         let node = fabric.node(MachineId(0));
         let mut w = Workload::new(KeyDist::uniform(1024), OpMix::update_heavy(), 13);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(stripes),
-            &stripes,
-            |b, _| {
-                b.iter(|| match w.next_op() {
-                    WorkloadOp::Read(k) => {
-                        map.get(&node, k).unwrap();
-                    }
-                    WorkloadOp::Insert(k, v) => {
-                        map.insert(&node, k, v).unwrap();
-                    }
-                    WorkloadOp::Remove(k) => {
-                        map.remove(&node, k).unwrap();
-                    }
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(stripes), &stripes, |b, _| {
+            b.iter(|| match w.next_op() {
+                WorkloadOp::Read(k) => {
+                    map.get(&node, k).unwrap();
+                }
+                WorkloadOp::Insert(k, v) => {
+                    map.insert(&node, k, v).unwrap();
+                }
+                WorkloadOp::Remove(k) => {
+                    map.remove(&node, k).unwrap();
+                }
+            })
+        });
         let _ = &fabric;
         let _ = MEM_NODE;
     }

@@ -29,7 +29,13 @@ struct Row {
     at_risk: String,
 }
 
-fn run(label: &str, strategy: Arc<dyn Persistence>, heap: &Arc<SharedHeap>, fabric: &Arc<SimFabric>, at_risk: &str) -> Row {
+fn run(
+    label: &str,
+    strategy: Arc<dyn Persistence>,
+    heap: &Arc<SharedHeap>,
+    fabric: &Arc<SimFabric>,
+    at_risk: &str,
+) -> Row {
     let map = DurableMap::create(heap, 1024, strategy).expect("heap fits the map");
     let node = fabric.node(MachineId(0));
     let mut w = Workload::new(KeyDist::zipfian(512, 0.99), OpMix::update_heavy(), 42);
@@ -73,7 +79,13 @@ fn main() {
     let mut rows = Vec::new();
     {
         let (fabric, heap) = fresh();
-        rows.push(run("none (not durable)", Arc::new(NoPersistence), &heap, &fabric, "all"));
+        rows.push(run(
+            "none (not durable)",
+            Arc::new(NoPersistence),
+            &heap,
+            &fabric,
+            "all",
+        ));
     }
     for interval in [1usize, 4, 16, 64, 256] {
         let (fabric, heap) = fresh();
@@ -88,11 +100,23 @@ fn main() {
     }
     {
         let (fabric, heap) = fresh();
-        rows.push(run("flit-cxl0", Arc::new(FlitCxl0::default()), &heap, &fabric, "0"));
+        rows.push(run(
+            "flit-cxl0",
+            Arc::new(FlitCxl0::default()),
+            &heap,
+            &fabric,
+            "0",
+        ));
     }
     {
         let (fabric, heap) = fresh();
-        rows.push(run("naive-mstore", Arc::new(NaiveMStore), &heap, &fabric, "0"));
+        rows.push(run(
+            "naive-mstore",
+            Arc::new(NaiveMStore),
+            &heap,
+            &fabric,
+            "0",
+        ));
     }
 
     for r in &rows {

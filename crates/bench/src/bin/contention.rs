@@ -11,7 +11,10 @@ fn main() {
     let counts = [1, 2, 4, 8, 16, 32, 64, 128];
     for path in [AccessPath::HostToHdm, AccessPath::DeviceToHm] {
         println!("\n{} — Read latency vs concurrent requesters", path.label());
-        println!("{:>11} {:>14} {:>14}", "requesters", "mean ns", "makespan ns");
+        println!(
+            "{:>11} {:>14} {:>14}",
+            "requesters", "mean ns", "makespan ns"
+        );
         for pt in contention_sweep(&cfg, CxlOp::Read, path, &counts, 500) {
             println!(
                 "{:>11} {:>14.1} {:>14}",

@@ -37,5 +37,8 @@ fn main() {
         "  RFlush/MStore (host→HM)     {:.2}x   (paper: ~1.0x)",
         m(AccessPath::HostToHm, CxlOp::RFlush) / m(AccessPath::HostToHm, CxlOp::MStore)
     );
-    println!("  not-measurable cells        {}      (paper: 7)", fig.not_measurable());
+    println!(
+        "  not-measurable cells        {}      (paper: 7)",
+        fig.not_measurable()
+    );
 }

@@ -13,10 +13,19 @@ use cxl0_bench::{all_strategies, run_map_workload, run_queue_workload, standard_
 fn main() {
     const N: usize = 20_000;
 
-    println!("map workload: {} ops, zipfian(1024, 0.99), 50/50 read/insert\n", N);
+    println!(
+        "map workload: {} ops, zipfian(1024, 0.99), 50/50 read/insert\n",
+        N
+    );
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12}",
-        "strategy", "loads/op", "stores/op", "rmws/op", "flush/op", "async/op", "sim ns/op",
+        "strategy",
+        "loads/op",
+        "stores/op",
+        "rmws/op",
+        "flush/op",
+        "async/op",
+        "sim ns/op",
         "wall ns/op"
     );
     for strategy in all_strategies() {
@@ -39,7 +48,13 @@ fn main() {
     println!("\nqueue workload: {} enqueue/dequeue pairs\n", N);
     println!(
         "{:<16} {:>9} {:>9} {:>9} {:>9} {:>9} {:>12} {:>12}",
-        "strategy", "loads/op", "stores/op", "rmws/op", "flush/op", "async/op", "sim ns/op",
+        "strategy",
+        "loads/op",
+        "stores/op",
+        "rmws/op",
+        "flush/op",
+        "async/op",
+        "sim ns/op",
         "wall ns/op"
     );
     for strategy in all_strategies() {
@@ -59,10 +74,16 @@ fn main() {
     }
 
     println!("\nnotes:");
-    println!("  * 'none' is linearizable but NOT durable; 'flit-x86' is UNSOUND under partial crashes");
+    println!(
+        "  * 'none' is linearizable but NOT durable; 'flit-x86' is UNSOUND under partial crashes"
+    );
     println!("    (its LFlush only reaches the owner's cache) — both are lower bounds, not alternatives.");
-    println!("  * flit-owner-opt replaces RFlush with LFlush when the writer owns the line (§6.1).");
-    println!("  * naive-mstore persists by construction but pays the memory round trip on every store");
+    println!(
+        "  * flit-owner-opt replaces RFlush with LFlush when the writer owns the line (§6.1)."
+    );
+    println!(
+        "  * naive-mstore persists by construction but pays the memory round trip on every store"
+    );
     println!("    and loses all cache locality (§6.1: 'expected to yield inferior performance').");
     println!("  * flit-async runs on the CXL0_AF extension (AFlush + Barrier): stores persist");
     println!("    synchronously, helping flushes defer to one overlapped barrier per operation");

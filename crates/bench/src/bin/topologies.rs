@@ -22,12 +22,16 @@ fn main() {
         for m in 0..t.num_machines() {
             print!("{:<26}", format!("{} m{}", t.name(), m));
             for p in Primitive::ISSUED {
-                print!(" {:>7}", if t.allows(MachineId(m), p) { "✓" } else { "—" });
+                print!(
+                    " {:>7}",
+                    if t.allows(MachineId(m), p) {
+                        "✓"
+                    } else {
+                        "—"
+                    }
+                );
             }
-            println!(
-                " {:>7}",
-                if t.allows_prop_cc() { "✓" } else { "—" }
-            );
+            println!(" {:>7}", if t.allows_prop_cc() { "✓" } else { "—" });
         }
     }
     println!("\n(✓ = primitive available, — = excluded per §4; PropC-C = cache-to-cache propagation in the fabric)");

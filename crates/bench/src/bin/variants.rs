@@ -15,8 +15,16 @@ fn main() {
             .iter()
             .map(|&v| t.expected_for(v).unwrap().symbol().to_string())
             .collect();
-        let computed: Vec<String> = order.iter().map(|&v| t.run(v).symbol().to_string()).collect();
-        println!("{}  paper ({})  computed ({})", t.name, paper_triple.join(","), computed.join(","));
+        let computed: Vec<String> = order
+            .iter()
+            .map(|&v| t.run(v).symbol().to_string())
+            .collect();
+        println!(
+            "{}  paper ({})  computed ({})",
+            t.name,
+            paper_triple.join(","),
+            computed.join(",")
+        );
         println!("         {}", t.trace);
         println!("         {}\n", t.description);
     }

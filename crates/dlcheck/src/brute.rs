@@ -115,14 +115,16 @@ mod tests {
             let mut rng = seed;
             let mut pending: [Option<(OpId, RegisterOp, bool, u64)>; 2] = [None, None];
             loop {
-                rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                rng = rng
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let t = (rng >> 33) as usize % 2;
                 if let Some((oid, op, respond, rv)) = pending[t].take() {
                     if respond {
                         let ret = match op {
                             RegisterOp::Read => RegisterRet::Value(rv),
                             RegisterOp::Write(_) => RegisterRet::Ok,
-                            RegisterOp::Cas(..) => RegisterRet::CasResult(rv % 2 == 0),
+                            RegisterOp::Cas(..) => RegisterRet::CasResult(rv.is_multiple_of(2)),
                         };
                         events.push(Event::Respond { id: oid, ret });
                     } else {
@@ -142,9 +144,7 @@ mod tests {
                         op,
                     });
                     pending[t] = Some((oid, op, respond, rv));
-                } else if queues[(t + 1) % 2].is_empty()
-                    && pending[(t + 1) % 2].is_none()
-                {
+                } else if queues[(t + 1) % 2].is_empty() && pending[(t + 1) % 2].is_none() {
                     break;
                 }
             }

@@ -544,7 +544,7 @@ mod proptests {
             // the machine, so use era-distinct ids).
             let thread = ThreadId(era * 100 + i);
             let id = OpId(i);
-            if kind % 2 == 0 {
+            if kind.is_multiple_of(2) {
                 events.push(Event::Invoke {
                     id,
                     thread,

@@ -41,7 +41,11 @@ impl<Op: fmt::Debug> fmt::Display for DurableResult<Op> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DurableResult::DurablyLinearizable { witness } => {
-                write!(f, "durably linearizable ({} ops take effect)", witness.len())
+                write!(
+                    f,
+                    "durably linearizable ({} ops take effect)",
+                    witness.len()
+                )
             }
             DurableResult::IllFormed(why) => write!(f, "ill-formed history: {why}"),
             DurableResult::NotLinearizable => write!(f, "NOT durably linearizable"),

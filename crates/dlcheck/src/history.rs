@@ -349,7 +349,10 @@ mod tests {
                     op: "a",
                 },
                 Event::Crash { machine: 0 },
-                Event::Respond { id: OpId(0), ret: 1 },
+                Event::Respond {
+                    id: OpId(0),
+                    ret: 1,
+                },
             ],
         };
         assert!(h.validate().is_err());
@@ -374,7 +377,10 @@ mod tests {
     #[test]
     fn response_without_invoke_rejected() {
         let h: H = History {
-            events: vec![Event::Respond { id: OpId(3), ret: 0 }],
+            events: vec![Event::Respond {
+                id: OpId(3),
+                ret: 0,
+            }],
         };
         assert!(h.validate().unwrap_err().contains("unknown op"));
     }
@@ -389,7 +395,10 @@ mod tests {
                     machine: 0,
                     op: "a",
                 },
-                Event::Respond { id: OpId(0), ret: 0 },
+                Event::Respond {
+                    id: OpId(0),
+                    ret: 0,
+                },
                 Event::Invoke {
                     id: OpId(1),
                     thread: ThreadId(0),

@@ -342,10 +342,7 @@ impl SeqSpec for LogSpec {
                 s.push(v);
                 (s.clone(), LogRet::Index(s.len() as u64 - 1))
             }
-            LogOp::Read(i) => (
-                state.clone(),
-                LogRet::Slot(state.get(i as usize).copied()),
-            ),
+            LogOp::Read(i) => (state.clone(), LogRet::Slot(state.get(i as usize).copied())),
         }
     }
 }

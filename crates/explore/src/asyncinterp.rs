@@ -133,12 +133,7 @@ impl<'a> AsyncExplorer<'a> {
 
     /// Whether two label sequences lead to the same τ-closed outcome sets
     /// from `set`.
-    pub fn same_outcomes(
-        &self,
-        set: &AsyncStateSet,
-        a: &[AsyncLabel],
-        b: &[AsyncLabel],
-    ) -> bool {
+    pub fn same_outcomes(&self, set: &AsyncStateSet, a: &[AsyncLabel], b: &[AsyncLabel]) -> bool {
         self.after_trace(set, a) == self.after_trace(set, b)
     }
 

@@ -12,7 +12,10 @@ pub fn to_dot(graph: &ReachableGraph, title: &str) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "digraph \"{title}\" {{");
     let _ = writeln!(out, "  rankdir=LR;");
-    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\", fontsize=9];");
+    let _ = writeln!(
+        out,
+        "  node [shape=box, fontname=\"monospace\", fontsize=9];"
+    );
     for (i, st) in graph.states.iter().enumerate() {
         let label = st.to_string().replace('\n', "\\l").replace('"', "'");
         let style = if i == 0 { ", penwidth=2" } else { "" };
@@ -56,6 +59,12 @@ mod tests {
         assert!(dot.trim_end().ends_with('}'));
         assert!(dot.contains("s0 ["));
         assert!(dot.contains("->"));
-        assert!(dot.contains("style=dotted") || graph.edges.iter().all(|(_, e, _)| matches!(e, super::Edge::Visible(_))));
+        assert!(
+            dot.contains("style=dotted")
+                || graph
+                    .edges
+                    .iter()
+                    .all(|(_, e, _)| matches!(e, super::Edge::Visible(_)))
+        );
     }
 }

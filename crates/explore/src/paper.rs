@@ -12,9 +12,7 @@
 //! `RStore` the read value to `y₁`) is expanded into an explicit
 //! `Load₂(x₂, v)` followed by `RStore₂(y₁, v)`.
 
-use cxl0_model::{
-    Label, Loc, MachineConfig, MachineId, ModelVariant, SystemConfig, Trace, Val,
-};
+use cxl0_model::{Label, Loc, MachineConfig, MachineId, ModelVariant, SystemConfig, Trace, Val};
 
 use crate::litmus::{Litmus, Verdict};
 
@@ -124,8 +122,7 @@ pub fn figure3_tests() -> Vec<Litmus> {
         },
         Litmus {
             name: "test-08".into(),
-            description: "a value observed by another operation may still be lost (RStore)"
-                .into(),
+            description: "a value observed by another operation may still be lost (RStore)".into(),
             config: two.clone(),
             trace: Trace::from_labels([
                 Label::rstore(M1, x(2), Val(1)),

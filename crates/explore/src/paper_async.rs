@@ -112,8 +112,7 @@ pub fn async_flush_tests() -> Vec<AsyncLitmus> {
         },
         AsyncLitmus {
             name: "test-A4".into(),
-            description: "without the barrier the remote store may still be lost (≙ test 4)"
-                .into(),
+            description: "without the barrier the remote store may still be lost (≙ test 4)".into(),
             config: two.clone(),
             trace: vec![
                 Label::lstore(M1, x(2), Val(1)).into(),
@@ -167,8 +166,7 @@ pub fn async_flush_tests() -> Vec<AsyncLitmus> {
         },
         AsyncLitmus {
             name: "test-A8".into(),
-            description: "a crash clears the buffer, so a post-crash barrier proves nothing"
-                .into(),
+            description: "a crash clears the buffer, so a post-crash barrier proves nothing".into(),
             config: two,
             trace: vec![
                 Label::lstore(M2, x(2), Val(1)).into(),

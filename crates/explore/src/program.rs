@@ -80,6 +80,16 @@ impl Program {
 /// A final outcome: the values observed by each named register.
 pub type Outcome = BTreeMap<Reg, Val>;
 
+/// Deduplication key for one DFS search node: per-thread program
+/// counters, crash flags, admissible model states, and the partial
+/// register outcome.
+type SearchKey = (
+    Vec<usize>,
+    Vec<bool>,
+    Vec<cxl0_model::State>,
+    Vec<(Reg, Val)>,
+);
+
 /// Enumerates every reachable outcome of `program` under `sem`:
 /// all interleavings of the threads' instructions, all placements of the
 /// optional crash events, all propagation choices, and all load results.
@@ -114,7 +124,7 @@ fn dfs(
     states: &StateSet,
     outcome: &Outcome,
     results: &mut BTreeSet<Outcome>,
-    seen: &mut BTreeSet<(Vec<usize>, Vec<bool>, Vec<cxl0_model::State>, Vec<(Reg, Val)>)>,
+    seen: &mut BTreeSet<SearchKey>,
 ) {
     // Dedup on the full search node to avoid exponential revisits.
     let key = (
@@ -149,25 +159,33 @@ fn dfs(
             Instr::Store(kind, loc, v) => {
                 let next = exp.after_label(states, &Label::store(kind, *machine, loc, v));
                 if !next.is_empty() {
-                    dfs(exp, program, &next_pcs, crashed, &next, outcome, results, seen);
+                    dfs(
+                        exp, program, &next_pcs, crashed, &next, outcome, results, seen,
+                    );
                 }
             }
             Instr::LFlush(loc) => {
                 let next = exp.after_label(states, &Label::lflush(*machine, loc));
                 if !next.is_empty() {
-                    dfs(exp, program, &next_pcs, crashed, &next, outcome, results, seen);
+                    dfs(
+                        exp, program, &next_pcs, crashed, &next, outcome, results, seen,
+                    );
                 }
             }
             Instr::RFlush(loc) => {
                 let next = exp.after_label(states, &Label::rflush(*machine, loc));
                 if !next.is_empty() {
-                    dfs(exp, program, &next_pcs, crashed, &next, outcome, results, seen);
+                    dfs(
+                        exp, program, &next_pcs, crashed, &next, outcome, results, seen,
+                    );
                 }
             }
             Instr::Gpf => {
                 let next = exp.after_label(states, &Label::gpf(*machine));
                 if !next.is_empty() {
-                    dfs(exp, program, &next_pcs, crashed, &next, outcome, results, seen);
+                    dfs(
+                        exp, program, &next_pcs, crashed, &next, outcome, results, seen,
+                    );
                 }
             }
             Instr::Load(loc, reg) => {
@@ -208,7 +226,16 @@ fn dfs(
         next_crashed[c] = true;
         let next = exp.after_label(states, &Label::crash(*m));
         if !next.is_empty() {
-            dfs(exp, program, pcs, &next_crashed, &next, outcome, results, seen);
+            dfs(
+                exp,
+                program,
+                pcs,
+                &next_crashed,
+                &next,
+                outcome,
+                results,
+                seen,
+            );
         }
     }
 }
@@ -253,7 +280,10 @@ mod tests {
         let mut broken = Outcome::new();
         broken.insert(r1, Val(1));
         broken.insert(r2, Val(0));
-        assert!(outs.contains(&broken), "assert(r1==r2) must be violable: {outs:?}");
+        assert!(
+            outs.contains(&broken),
+            "assert(r1==r2) must be violable: {outs:?}"
+        );
         // And the consistent outcome is of course also reachable:
         let mut fine = Outcome::new();
         fine.insert(r1, Val(1));
@@ -288,10 +318,7 @@ mod tests {
                     Instr::Store(StoreKind::Remote, flag, Val(1)),
                 ],
             )
-            .thread(
-                M2,
-                vec![Instr::Load(flag, rflag), Instr::Load(data, rdata)],
-            )
+            .thread(M2, vec![Instr::Load(flag, rflag), Instr::Load(data, rdata)])
             .may_crash(M2);
         let outs = outcomes(&sem, &prog);
         for o in &outs {
@@ -327,10 +354,7 @@ mod tests {
                     Instr::Store(StoreKind::Remote, flag, Val(1)),
                 ],
             )
-            .thread(
-                M2,
-                vec![Instr::Load(flag, rflag), Instr::Load(data, rdata)],
-            )
+            .thread(M2, vec![Instr::Load(flag, rflag), Instr::Load(data, rdata)])
             .may_crash(M2);
         let outs = outcomes(&sem, &prog);
         assert!(
@@ -347,8 +371,14 @@ mod tests {
         let ra = Reg("a");
         let rb = Reg("b");
         let prog = Program::new()
-            .thread(M1, vec![Instr::Cas(StoreKind::Local, x(0), Val(0), Val(1), ra)])
-            .thread(M2, vec![Instr::Cas(StoreKind::Local, x(0), Val(0), Val(2), rb)]);
+            .thread(
+                M1,
+                vec![Instr::Cas(StoreKind::Local, x(0), Val(0), Val(1), ra)],
+            )
+            .thread(
+                M2,
+                vec![Instr::Cas(StoreKind::Local, x(0), Val(0), Val(2), rb)],
+            );
         let outs = outcomes(&sem, &prog);
         // Exactly one CAS can win: outcomes are (0 observed by both is
         // impossible), (a=0,b=1), (a=2,b=0).

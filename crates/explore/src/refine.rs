@@ -65,8 +65,7 @@ pub fn check_refinement(
     let start = (impl_exp.initial_set(), spec_exp.initial_set());
     let mut visited: HashSet<(StateSet, StateSet)> = HashSet::new();
     visited.insert(start.clone());
-    let mut frontier: Vec<(Trace, StateSet, StateSet)> =
-        vec![(Trace::new(), start.0, start.1)];
+    let mut frontier: Vec<(Trace, StateSet, StateSet)> = vec![(Trace::new(), start.0, start.1)];
 
     for _ in 0..depth {
         let mut next_frontier = Vec::new();
@@ -119,9 +118,7 @@ pub fn incomparability_witnesses(
 mod tests {
     use super::*;
     use crate::space::AlphabetBuilder;
-    use cxl0_model::{
-        MachineConfig, ModelVariant, Primitive, SystemConfig, Val,
-    };
+    use cxl0_model::{MachineConfig, ModelVariant, Primitive, SystemConfig, Val};
 
     /// Machine 0: NVMM; machine 1: volatile — the §3.5 configuration.
     fn cfg() -> SystemConfig {
@@ -174,14 +171,8 @@ mod tests {
         let psn = Semantics::with_variant(cfg.clone(), ModelVariant::Psn);
         let lwb = Semantics::with_variant(cfg.clone(), ModelVariant::Lwb);
         let (p_not_l, l_not_p) = incomparability_witnesses(&psn, &lwb, &alphabet, 5);
-        assert!(
-            p_not_l.is_some(),
-            "expected a PSN trace that LWB forbids"
-        );
-        assert!(
-            l_not_p.is_some(),
-            "expected an LWB trace that PSN forbids"
-        );
+        assert!(p_not_l.is_some(), "expected a PSN trace that LWB forbids");
+        assert!(l_not_p.is_some(), "expected an LWB trace that PSN forbids");
     }
 
     #[test]

@@ -60,9 +60,7 @@ impl Prop1Item {
             Prop1Item::MStoreStrongerThanRStore => {
                 "if γ =MStore_i(x,v)⇒ γ' then γ =RStore_i(x,v)⇒ γ'"
             }
-            Prop1Item::RFlushStrongerThanLFlush => {
-                "if γ =RFlush_i(x)⇒ γ' then γ =LFlush_i(x)⇒ γ'"
-            }
+            Prop1Item::RFlushStrongerThanLFlush => "if γ =RFlush_i(x)⇒ γ' then γ =LFlush_i(x)⇒ γ'",
             Prop1Item::LFlushAfterRStoreRedundant => {
                 "if γ =RStore_j(x,v)⇒ γ' then γ =RStore_j(x,v)·LFlush_j(x)⇒ γ'  (j ≠ owner)"
             }
@@ -87,24 +85,18 @@ impl Prop1Item {
             Trace::from_labels(labels.iter().copied())
         }
         match self {
-            Prop1Item::RStoreStrongerThanLStore => Some((
-                t(&[Label::rstore(i, x, v)]),
-                t(&[Label::lstore(i, x, v)]),
-            )),
-            Prop1Item::OwnerStoresEquivalent => (i == owner).then(|| {
-                (
-                    t(&[Label::lstore(i, x, v)]),
-                    t(&[Label::rstore(i, x, v)]),
-                )
-            }),
-            Prop1Item::MStoreStrongerThanRStore => Some((
-                t(&[Label::mstore(i, x, v)]),
-                t(&[Label::rstore(i, x, v)]),
-            )),
-            Prop1Item::RFlushStrongerThanLFlush => Some((
-                t(&[Label::rflush(i, x)]),
-                t(&[Label::lflush(i, x)]),
-            )),
+            Prop1Item::RStoreStrongerThanLStore => {
+                Some((t(&[Label::rstore(i, x, v)]), t(&[Label::lstore(i, x, v)])))
+            }
+            Prop1Item::OwnerStoresEquivalent => {
+                (i == owner).then(|| (t(&[Label::lstore(i, x, v)]), t(&[Label::rstore(i, x, v)])))
+            }
+            Prop1Item::MStoreStrongerThanRStore => {
+                Some((t(&[Label::mstore(i, x, v)]), t(&[Label::rstore(i, x, v)])))
+            }
+            Prop1Item::RFlushStrongerThanLFlush => {
+                Some((t(&[Label::rflush(i, x)]), t(&[Label::lflush(i, x)])))
+            }
             Prop1Item::LFlushAfterRStoreRedundant => (i != owner).then(|| {
                 (
                     t(&[Label::rstore(i, x, v)]),

@@ -89,7 +89,11 @@ pub fn run_figure5(cfg: &LatencyConfig, iterations: usize, seed: u64) -> Figure5
 impl Figure5 {
     /// The median for one combination (`None` = not measurable).
     pub fn median(&self, path: AccessPath, op: CxlOp) -> Option<u64> {
-        self.entries.get(&(path, op)).copied().flatten().map(|s| s.median)
+        self.entries
+            .get(&(path, op))
+            .copied()
+            .flatten()
+            .map(|s| s.median)
     }
 
     /// Number of "not measurable" combinations (the paper's figure shows
@@ -169,7 +173,10 @@ mod tests {
         let a = run_figure5(&LatencyConfig::testbed(), 200, 1);
         let b = run_figure5(&LatencyConfig::testbed(), 200, 1);
         for (k, v) in &a.entries {
-            assert_eq!(v.as_ref().map(|s| s.median), b.entries[k].as_ref().map(|s| s.median));
+            assert_eq!(
+                v.as_ref().map(|s| s.median),
+                b.entries[k].as_ref().map(|s| s.median)
+            );
         }
     }
 

@@ -258,14 +258,11 @@ impl FabricSim {
             Transaction::MemM2S(m2s) => {
                 use cxl0_protocol::M2SReq::*;
                 match m2s {
-                    MemRdData | MemRd => {
-                        rt + c.device_coherence + c.device_axi + c.device_mem_read
-                    }
+                    MemRdData | MemRd => rt + c.device_coherence + c.device_axi + c.device_mem_read,
                     // Writing into device-owned memory from the host also
                     // updates the host-bias ownership tracking.
                     MemWr if node == Node::Host => {
-                        rt + c.bias_check + c.device_coherence + c.device_axi
-                            + c.device_mem_write
+                        rt + c.bias_check + c.device_coherence + c.device_axi + c.device_mem_write
                     }
                     MemWr => rt + c.device_coherence + c.device_axi + c.device_mem_write,
                     MemInv => rt + c.device_coherence,
@@ -372,7 +369,9 @@ mod tests {
         let cfg = LatencyConfig::testbed();
         let mut a = FabricSim::new(cfg.clone(), 7);
         let mut b = FabricSim::new(cfg.clone(), 7);
-        let base = a.access_deterministic(CxlOp::Read, AccessPath::HostToHm).unwrap();
+        let base = a
+            .access_deterministic(CxlOp::Read, AccessPath::HostToHm)
+            .unwrap();
         for _ in 0..100 {
             let x = a.access(CxlOp::Read, AccessPath::HostToHm).unwrap();
             let y = b.access(CxlOp::Read, AccessPath::HostToHm).unwrap();

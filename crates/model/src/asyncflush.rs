@@ -483,10 +483,7 @@ mod tests {
         let st = sem.initial_state();
         let st = sem.apply(&st, &AsyncLabel::aflush(M0, x(1))).unwrap();
         let steps = sem.silent_steps(&st);
-        assert_eq!(
-            steps,
-            vec![AsyncSilentStep::Retire { by: M0, loc: x(1) }]
-        );
+        assert_eq!(steps, vec![AsyncSilentStep::Retire { by: M0, loc: x(1) }]);
         let st = sem.apply_silent(&st, &steps[0]).unwrap();
         assert!(st.all_buffers_empty());
     }
@@ -644,10 +641,8 @@ mod tests {
 
     #[test]
     fn variant_carries_through() {
-        let sem = AsyncSemantics::with_variant(
-            SystemConfig::symmetric_nvm(2, 1),
-            ModelVariant::Psn,
-        );
+        let sem =
+            AsyncSemantics::with_variant(SystemConfig::symmetric_nvm(2, 1), ModelVariant::Psn);
         assert_eq!(sem.base().variant(), ModelVariant::Psn);
         let st = sem.initial_state();
         let st = sem

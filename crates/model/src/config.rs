@@ -153,9 +153,10 @@ impl SystemConfig {
 
     /// Iterator over every shared location `Loc = ∪ᵢ Locᵢ` in the system.
     pub fn all_locations(&self) -> impl Iterator<Item = Loc> + '_ {
-        self.machines.iter().enumerate().flat_map(|(i, mc)| {
-            (0..mc.locations).map(move |a| Loc::new(MachineId(i), a))
-        })
+        self.machines
+            .iter()
+            .enumerate()
+            .flat_map(|(i, mc)| (0..mc.locations).map(move |a| Loc::new(MachineId(i), a)))
     }
 
     /// Iterator over the locations owned by machine `m`.

@@ -313,13 +313,7 @@ impl Semantics {
     }
 
     /// LFLUSH / RFLUSH (Fig. 2): pure blocking preconditions.
-    fn apply_flush(
-        &self,
-        state: &State,
-        kind: FlushKind,
-        by: MachineId,
-        loc: Loc,
-    ) -> StepResult {
+    fn apply_flush(&self, state: &State, kind: FlushKind, by: MachineId, loc: Loc) -> StepResult {
         self.check_machine(by)?;
         self.check_loc(loc)?;
         match kind {
@@ -695,11 +689,17 @@ mod tests {
             .unwrap();
         assert_eq!(st.cache(M0, x(1)), Some(Val(1)));
         let err = sem
-            .apply(&st, &Label::rmw(StoreKind::Memory, M1, x(1), Val(0), Val(2)))
+            .apply(
+                &st,
+                &Label::rmw(StoreKind::Memory, M1, x(1), Val(0), Val(2)),
+            )
             .unwrap_err();
         assert!(matches!(err, StepError::ValueMismatch { .. }));
         let st = sem
-            .apply(&st, &Label::rmw(StoreKind::Memory, M1, x(1), Val(1), Val(2)))
+            .apply(
+                &st,
+                &Label::rmw(StoreKind::Memory, M1, x(1), Val(1), Val(2)),
+            )
             .unwrap();
         assert_eq!(st.memory(x(1)), Val(2));
         assert!(st.no_cache_holds(x(1)));

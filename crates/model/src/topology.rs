@@ -237,9 +237,7 @@ impl Topology {
 
     /// Whether machine `m` may issue primitive `p`.
     pub fn allows(&self, m: MachineId, p: Primitive) -> bool {
-        self.per_machine
-            .get(m.index())
-            .is_some_and(|c| c.allows(p))
+        self.per_machine.get(m.index()).is_some_and(|c| c.allows(p))
     }
 
     /// Whether the fabric performs `Propagate-C-C` steps at all.
@@ -259,7 +257,12 @@ impl Topology {
 
 impl fmt::Display for Topology {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "topology {} ({} machines):", self.name, self.num_machines())?;
+        writeln!(
+            f,
+            "topology {} ({} machines):",
+            self.name,
+            self.num_machines()
+        )?;
         for (i, c) in self.per_machine.iter().enumerate() {
             let granted: Vec<String> = c.granted().iter().map(|p| p.to_string()).collect();
             writeln!(f, "  m{i}: {}", granted.join(", "))?;

@@ -435,7 +435,13 @@ impl CoherentPool {
     /// `Load`: returns the value and the link traffic it generated.
     pub fn read(&mut self, host: HostId, line: LineId) -> (u64, Vec<PoolTxn>) {
         let st = self.host_state(host, line);
-        let outcome = pool_op(PoolOp::Read, host, st, &self.dir[line.0 as usize].clone(), &self.peer_states(line, host));
+        let outcome = pool_op(
+            PoolOp::Read,
+            host,
+            st,
+            &self.dir[line.0 as usize].clone(),
+            &self.peer_states(line, host),
+        );
         self.apply_outcome(host, line, &outcome);
         let v = if st == MesiState::I {
             // Data came from the pool (possibly freshened by a BISnpData
@@ -463,7 +469,13 @@ impl CoherentPool {
     /// `LStore`: cacheable write (read-for-ownership + modify).
     pub fn lstore(&mut self, host: HostId, line: LineId, v: u64) -> Vec<PoolTxn> {
         let st = self.host_state(host, line);
-        let outcome = pool_op(PoolOp::LStore, host, st, &self.dir[line.0 as usize].clone(), &self.peer_states(line, host));
+        let outcome = pool_op(
+            PoolOp::LStore,
+            host,
+            st,
+            &self.dir[line.0 as usize].clone(),
+            &self.peer_states(line, host),
+        );
         self.apply_outcome(host, line, &outcome);
         self.caches[host.0].insert(line, (MesiState::M, v));
         outcome.transactions
@@ -472,7 +484,13 @@ impl CoherentPool {
     /// `MStore`: write-through to pool memory, invalidating every copy.
     pub fn mstore(&mut self, host: HostId, line: LineId, v: u64) -> Vec<PoolTxn> {
         let st = self.host_state(host, line);
-        let outcome = pool_op(PoolOp::MStore, host, st, &self.dir[line.0 as usize].clone(), &self.peer_states(line, host));
+        let outcome = pool_op(
+            PoolOp::MStore,
+            host,
+            st,
+            &self.dir[line.0 as usize].clone(),
+            &self.peer_states(line, host),
+        );
         self.apply_outcome(host, line, &outcome);
         self.caches[host.0].remove(&line);
         self.mem[line.0 as usize] = v;
@@ -482,7 +500,13 @@ impl CoherentPool {
     /// `RFlush`: drain the line to pool memory everywhere.
     pub fn rflush(&mut self, host: HostId, line: LineId) -> Vec<PoolTxn> {
         let st = self.host_state(host, line);
-        let outcome = pool_op(PoolOp::RFlush, host, st, &self.dir[line.0 as usize].clone(), &self.peer_states(line, host));
+        let outcome = pool_op(
+            PoolOp::RFlush,
+            host,
+            st,
+            &self.dir[line.0 as usize].clone(),
+            &self.peer_states(line, host),
+        );
         self.apply_outcome(host, line, &outcome);
         if let Some((s, v)) = self.caches[host.0].remove(&line) {
             if s == MesiState::M {

@@ -66,7 +66,10 @@ impl HostDevicePair {
 
     /// The current MESI pair of `line`.
     pub fn state(&self, line: Line) -> CachePair {
-        self.lines.get(&line).copied().unwrap_or_else(CachePair::invalid)
+        self.lines
+            .get(&line)
+            .copied()
+            .unwrap_or_else(CachePair::invalid)
     }
 
     /// Forces a line into a specific state pair (test setup; Table-1
@@ -118,7 +121,10 @@ mod tests {
             vec![Transaction::RD_SHARED]
         );
         // Hit: silent.
-        assert!(sim.perform(Node::Device, CxlOp::Read, line).unwrap().is_empty());
+        assert!(sim
+            .perform(Node::Device, CxlOp::Read, line)
+            .unwrap()
+            .is_empty());
         assert_eq!(sim.state(line).device, MesiState::S);
     }
 
@@ -147,10 +153,7 @@ mod tests {
     fn states_remain_legal_across_random_sequences() {
         use proptest::prelude::*;
         let mut runner = proptest::test_runner::TestRunner::default();
-        let strategy = proptest::collection::vec(
-            (0..2usize, 0..6usize, 0..2usize, 0..4u32),
-            0..60,
-        );
+        let strategy = proptest::collection::vec((0..2usize, 0..6usize, 0..2usize, 0..4u32), 0..60);
         runner
             .run(&strategy, |ops| {
                 let mut sim = HostDevicePair::new();

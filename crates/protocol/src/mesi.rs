@@ -147,7 +147,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(CachePair::new(MesiState::S, MesiState::I).to_string(), "(S,I)");
+        assert_eq!(
+            CachePair::new(MesiState::S, MesiState::I).to_string(),
+            "(S,I)"
+        );
         assert_eq!(MesiState::M.to_string(), "M");
     }
 }

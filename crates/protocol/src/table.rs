@@ -267,7 +267,8 @@ mod tests {
         for (key, want) in &expected {
             let got = &table.cells[key];
             assert_eq!(
-                got, want,
+                got,
+                want,
                 "{:?}: generated `{}` but the paper reports `{}`",
                 key,
                 got.render(),

@@ -139,8 +139,15 @@ pub struct StatsSnapshot {
 impl StatsSnapshot {
     /// Total primitives.
     pub fn total_ops(&self) -> u64 {
-        self.loads + self.lstores + self.rstores + self.mstores + self.lflushes + self.rflushes
-            + self.rmws + self.aflushes + self.barriers
+        self.loads
+            + self.lstores
+            + self.rstores
+            + self.mstores
+            + self.lflushes
+            + self.rflushes
+            + self.rmws
+            + self.aflushes
+            + self.barriers
     }
 
     /// Flushes of either kind (synchronous only; see
@@ -213,11 +220,7 @@ impl SimFabric {
     /// # Panics
     ///
     /// Panics if `cfg` has more than 64 machines (the holder bitmask).
-    pub fn with_options(
-        cfg: SystemConfig,
-        variant: ModelVariant,
-        cost: CostModel,
-    ) -> Arc<Self> {
+    pub fn with_options(cfg: SystemConfig, variant: ModelVariant, cost: CostModel) -> Arc<Self> {
         assert!(cfg.num_machines() <= 64, "at most 64 machines supported");
         let locs = cfg
             .machines()
@@ -667,7 +670,11 @@ impl NodeHandle {
         };
         self.fabric.charge(prim, self.machine, loc);
         let mut st = self.fabric.loc_state(loc).lock();
-        let visible = if st.holders != 0 { st.cache_val } else { st.mem_val };
+        let visible = if st.holders != 0 {
+            st.cache_val
+        } else {
+            st.mem_val
+        };
         if visible != old {
             return Ok(Err(visible));
         }
@@ -704,7 +711,11 @@ impl NodeHandle {
         };
         self.fabric.charge(prim, self.machine, loc);
         let mut st = self.fabric.loc_state(loc).lock();
-        let visible = if st.holders != 0 { st.cache_val } else { st.mem_val };
+        let visible = if st.holders != 0 {
+            st.cache_val
+        } else {
+            st.mem_val
+        };
         let new = visible.wrapping_add(delta);
         match kind {
             StoreKind::Local => {
@@ -846,10 +857,7 @@ mod tests {
         let f = fabric2();
         let n0 = f.node(M0);
         assert_eq!(n0.cas(StoreKind::Local, x(1, 0), 0, 10).unwrap(), Ok(0));
-        assert_eq!(
-            n0.cas(StoreKind::Local, x(1, 0), 0, 20).unwrap(),
-            Err(10)
-        );
+        assert_eq!(n0.cas(StoreKind::Local, x(1, 0), 0, 20).unwrap(), Err(10));
         assert_eq!(n0.load(x(1, 0)).unwrap(), 10);
     }
 

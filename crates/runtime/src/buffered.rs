@@ -402,8 +402,7 @@ mod tests {
     #[test]
     fn unsynced_writes_roll_back() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         reg.write(&node, 1).unwrap();
         b.sync(&node).unwrap();
@@ -419,8 +418,7 @@ mod tests {
     #[test]
     fn synced_writes_survive() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         reg.write(&node, 7).unwrap();
         assert_eq!(b.sync(&node).unwrap(), 1);
@@ -433,8 +431,7 @@ mod tests {
     #[test]
     fn no_sync_rolls_back_to_initial_state() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         reg.write(&node, 9).unwrap();
         f.crash(MEM);
@@ -509,8 +506,7 @@ mod tests {
     #[test]
     fn interval_triggers_automatic_syncs() {
         let (f, heap, b) = setup(4);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         for v in 1..=8u64 {
             reg.write(&node, v).unwrap(); // each write is one completed op
@@ -526,8 +522,7 @@ mod tests {
     #[test]
     fn fast_path_issues_no_flushes_sync_batches() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         for v in 1..=50u64 {
             reg.write(&node, v).unwrap();
@@ -582,8 +577,7 @@ mod tests {
     #[test]
     fn dirty_and_tracked_counters() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         assert_eq!(b.dirty_len(), 0);
         reg.write(&node, 1).unwrap();
@@ -597,8 +591,7 @@ mod tests {
     #[test]
     fn sync_failure_keeps_previous_commit() {
         let (f, heap, b) = setup(0);
-        let reg =
-            DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        let reg = DurableRegister::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
         let node = f.node(M0);
         reg.write(&node, 1).unwrap();
         b.sync(&node).unwrap();

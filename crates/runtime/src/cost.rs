@@ -52,13 +52,13 @@ impl CostModel {
     pub fn figure5() -> Self {
         CostModel {
             load_local: 110,
-            load_remote: 258,    // ≈ 2.34× load_local (paper: host 2.34×)
-            lstore: 12,          // write buffer
-            rstore_remote: 115,  // device RStore ≈ 2.08× its LStore
-            mstore_local: 170,   // NT store + fence
-            mstore_remote: 400,  // ≈ 2.3× local MStore
+            load_remote: 258,   // ≈ 2.34× load_local (paper: host 2.34×)
+            lstore: 12,         // write buffer
+            rstore_remote: 115, // device RStore ≈ 2.08× its LStore
+            mstore_local: 170,  // NT store + fence
+            mstore_remote: 400, // ≈ 2.3× local MStore
             lflush: 60,
-            rflush_local: 175,   // ≈ MStore (paper: RFlush ≈ MStore)
+            rflush_local: 175, // ≈ MStore (paper: RFlush ≈ MStore)
             rflush_remote: 395,
             rmw_extra: 30,
             aflush_issue: 8,     // buffer enqueue, no link traffic
@@ -144,7 +144,10 @@ mod tests {
     #[test]
     fn owner_rstore_costs_like_lstore() {
         let c = CostModel::figure5();
-        assert_eq!(c.cost(Primitive::RStore, true), c.cost(Primitive::LStore, true));
+        assert_eq!(
+            c.cost(Primitive::RStore, true),
+            c.cost(Primitive::LStore, true)
+        );
     }
 
     #[test]

@@ -144,8 +144,10 @@ impl DurableList {
             }
             let n = self.heap.alloc(2).expect("list heap exhausted");
             // Initialize privately; persist before publication.
-            self.persist.private_store(node, self.key_cell(n), key, true)?;
-            self.persist.private_store(node, self.next_cell(n), curr_enc, true)?;
+            self.persist
+                .private_store(node, self.key_cell(n), key, true)?;
+            self.persist
+                .private_store(node, self.next_cell(n), curr_enc, true)?;
             if self
                 .persist
                 .shared_cas(node, pred_cell, curr_enc, encode_ptr(n), true)?
@@ -302,7 +304,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for round in 0..50u64 {
                     let k = (round * 7 + t as u64 * 13) % 64 + 1;
-                    if (round + t as u64) % 2 == 0 {
+                    if (round + t as u64).is_multiple_of(2) {
                         let _ = l.remove(&node, k).unwrap();
                     } else {
                         let _ = l.insert(&node, k).unwrap();

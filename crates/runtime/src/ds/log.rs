@@ -76,11 +76,7 @@ impl DurableLog {
     /// Allocates a log with `capacity` slots from `heap`.
     ///
     /// Returns `None` if the heap cannot fit `capacity + 1` cells.
-    pub fn create(
-        heap: &SharedHeap,
-        capacity: u32,
-        persist: Arc<dyn Persistence>,
-    ) -> Option<Self> {
+    pub fn create(heap: &SharedHeap, capacity: u32, persist: Arc<dyn Persistence>) -> Option<Self> {
         let tail = heap.alloc(1)?;
         let slots = heap.alloc(capacity)?;
         Some(DurableLog {
@@ -265,10 +261,7 @@ mod tests {
         f.recover(MEM);
         let (committed, sealed) = log.recover(&node).unwrap();
         assert_eq!((committed, sealed), (3, 0));
-        assert_eq!(
-            log.scan(&node).unwrap(),
-            vec![(0, 7), (1, 8), (2, 9)]
-        );
+        assert_eq!(log.scan(&node).unwrap(), vec![(0, 7), (1, 8), (2, 9)]);
     }
 
     #[test]

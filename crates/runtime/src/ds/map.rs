@@ -147,7 +147,9 @@ impl DurableMap {
         };
         // Swap the value cell atomically to learn the previous binding.
         loop {
-            let old = self.persist.shared_load(node, self.value_cell(slot), true)?;
+            let old = self
+                .persist
+                .shared_load(node, self.value_cell(slot), true)?;
             if self
                 .persist
                 .shared_cas(node, self.value_cell(slot), old, value, true)?
@@ -169,7 +171,9 @@ impl DurableMap {
             self.persist.complete_op(node)?;
             return Ok(None);
         };
-        let v = self.persist.shared_load(node, self.value_cell(slot), true)?;
+        let v = self
+            .persist
+            .shared_load(node, self.value_cell(slot), true)?;
         self.persist.complete_op(node)?;
         Ok(if v == ABSENT { None } else { Some(v) })
     }
@@ -185,7 +189,9 @@ impl DurableMap {
             return Ok(None);
         };
         loop {
-            let old = self.persist.shared_load(node, self.value_cell(slot), true)?;
+            let old = self
+                .persist
+                .shared_load(node, self.value_cell(slot), true)?;
             if old == ABSENT {
                 self.persist.complete_op(node)?;
                 return Ok(None);

@@ -70,8 +70,10 @@ impl DurableQueue {
     pub fn init(&self, node: &NodeHandle) -> OpResult<()> {
         // The dummy node is the two cells allocated right after the header.
         let dummy = Loc::new(self.header.owner, self.header.addr.0 + 2);
-        self.persist.private_store(node, self.next_cell(dummy), NULL_PTR, true)?;
-        self.persist.private_store(node, self.value_cell(dummy), 0, true)?;
+        self.persist
+            .private_store(node, self.next_cell(dummy), NULL_PTR, true)?;
+        self.persist
+            .private_store(node, self.value_cell(dummy), 0, true)?;
         self.persist
             .private_store(node, self.head_cell(), encode_ptr(dummy), true)?;
         self.persist
@@ -119,22 +121,31 @@ impl DurableQueue {
         let Some(n) = self.heap.alloc(2) else {
             return Ok(false);
         };
-        self.persist.private_store(node, self.value_cell(n), v, true)?;
-        self.persist.private_store(node, self.next_cell(n), NULL_PTR, true)?;
+        self.persist
+            .private_store(node, self.value_cell(n), v, true)?;
+        self.persist
+            .private_store(node, self.next_cell(n), NULL_PTR, true)?;
         loop {
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
             let t = decode_ptr(self.heap.region(), tail).expect("tail is never null");
             let next = self.persist.shared_load(node, self.next_cell(t), true)?;
             if next == NULL_PTR {
-                match self
-                    .persist
-                    .shared_cas(node, self.next_cell(t), NULL_PTR, encode_ptr(n), true)?
-                {
+                match self.persist.shared_cas(
+                    node,
+                    self.next_cell(t),
+                    NULL_PTR,
+                    encode_ptr(n),
+                    true,
+                )? {
                     Ok(_) => {
                         // Linearized; help swing the tail.
-                        let _ = self
-                            .persist
-                            .shared_cas(node, self.tail_cell(), tail, encode_ptr(n), true)?;
+                        let _ = self.persist.shared_cas(
+                            node,
+                            self.tail_cell(),
+                            tail,
+                            encode_ptr(n),
+                            true,
+                        )?;
                         self.persist.complete_op(node)?;
                         return Ok(true);
                     }

@@ -83,10 +83,12 @@ impl DurableStack {
             return Ok(false);
         };
         // Initialize privately; persist before publication.
-        self.persist.private_store(node, self.value_cell(n), v, true)?;
+        self.persist
+            .private_store(node, self.value_cell(n), v, true)?;
         loop {
             let top = self.persist.shared_load(node, self.top, true)?;
-            self.persist.private_store(node, self.next_cell(n), top, true)?;
+            self.persist
+                .private_store(node, self.next_cell(n), top, true)?;
             match self
                 .persist
                 .shared_cas(node, self.top, top, encode_ptr(n), true)?

@@ -202,9 +202,9 @@ impl FlitCore {
     fn shared_store(&self, node: &NodeHandle, loc: Loc, v: u64, pflag: bool) -> OpResult<()> {
         if pflag {
             self.table.enter(loc);
-            let result = node.lstore(loc, v).and_then(|()| {
-                flush_with(self.policy, node, loc)
-            });
+            let result = node
+                .lstore(loc, v)
+                .and_then(|()| flush_with(self.policy, node, loc));
             self.table.exit(loc);
             result
         } else {
@@ -265,25 +265,13 @@ macro_rules! delegate_to_core {
         fn shared_load(&self, node: &NodeHandle, loc: Loc, pflag: bool) -> OpResult<u64> {
             self.core.shared_load(node, loc, pflag)
         }
-        fn shared_store(
-            &self,
-            node: &NodeHandle,
-            loc: Loc,
-            v: u64,
-            pflag: bool,
-        ) -> OpResult<()> {
+        fn shared_store(&self, node: &NodeHandle, loc: Loc, v: u64, pflag: bool) -> OpResult<()> {
             self.core.shared_store(node, loc, v, pflag)
         }
         fn private_load(&self, node: &NodeHandle, loc: Loc) -> OpResult<u64> {
             node.load(loc)
         }
-        fn private_store(
-            &self,
-            node: &NodeHandle,
-            loc: Loc,
-            v: u64,
-            pflag: bool,
-        ) -> OpResult<()> {
+        fn private_store(&self, node: &NodeHandle, loc: Loc, v: u64, pflag: bool) -> OpResult<()> {
             self.core.private_store(node, loc, v, pflag)
         }
         fn shared_cas(

@@ -74,7 +74,9 @@ pub use ds::{
     DurableStack, SlotState,
 };
 pub use error::{Crashed, OpResult};
-pub use flit::{FlitCxl0, FlitOwnerOpt, FlitTable, FlitX86, NaiveMStore, NoPersistence, Persistence};
+pub use flit::{
+    FlitCxl0, FlitOwnerOpt, FlitTable, FlitX86, NaiveMStore, NoPersistence, Persistence,
+};
 pub use flit_async::FlitAsync;
 pub use heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 pub use snapshot::{take_gpf_snapshot, MemorySnapshot};

@@ -261,7 +261,10 @@ mod tests {
     fn mix_percentages_respected() {
         let mut w = Workload::new(KeyDist::uniform(100), OpMix::new(70, 20, 10), 4);
         let ops = w.take_ops(10_000);
-        let reads = ops.iter().filter(|o| matches!(o, WorkloadOp::Read(_))).count();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Read(_)))
+            .count();
         let inserts = ops
             .iter()
             .filter(|o| matches!(o, WorkloadOp::Insert(..)))

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         st = sem.apply_silent(&st, step)?;
     }
     st = sem.apply(&st, &AsyncLabel::barrier(m1))?;
-    println!("Barrier succeeds; x is persistent: M(x) = {}\n", st.memory(x));
+    println!(
+        "Barrier succeeds; x is persistent: M(x) = {}\n",
+        st.memory(x)
+    );
 
     println!("=== Part 2: the A1–A8 litmus suite ===\n");
     for t in async_flush_tests() {
@@ -57,7 +60,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "{:<8} {} expected {} observed {} — {}",
             t.name,
-            if observed == t.expected { "PASS" } else { "FAIL" },
+            if observed == t.expected {
+                "PASS"
+            } else {
+                "FAIL"
+            },
             t.expected,
             observed,
             t.description

@@ -43,7 +43,7 @@ fn main() {
             let mut ops = 0u32;
             while !stop.load(Ordering::Relaxed) && ops < 25 {
                 ops += 1;
-                if t % 2 == 0 {
+                if t.is_multiple_of(2) {
                     let v = (t as u64) * 1_000_000 + produced + 1;
                     let id = recorder.invoke(ThreadId(t), machine.index(), QueueOp::Enq(v));
                     match queue.enqueue(&node, v) {
@@ -99,5 +99,8 @@ fn main() {
 
     let result = check_durably_linearizable(&QueueSpec, &history);
     println!("durable linearizability: {result}");
-    assert!(result.is_ok(), "FliT-transformed queue must be durably linearizable");
+    assert!(
+        result.is_ok(),
+        "FliT-transformed queue must be durably linearizable"
+    );
 }

@@ -19,7 +19,11 @@ fn main() {
             test.name,
             verdict,
             test.trace,
-            if verdict == expected { "matches paper" } else { "MISMATCH" }
+            if verdict == expected {
+                "matches paper"
+            } else {
+                "MISMATCH"
+            }
         );
         println!("         {}\n", test.description);
     }
@@ -51,7 +55,11 @@ fn main() {
             "{} {}   [{}]",
             test.name,
             observed,
-            if observed == test.expected { "as designed" } else { "MISMATCH" }
+            if observed == test.expected {
+                "as designed"
+            } else {
+                "MISMATCH"
+            }
         );
         println!("         {}\n", test.description);
     }

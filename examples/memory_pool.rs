@@ -57,7 +57,10 @@ fn main() {
         Label::crash(MachineId(0)),
         Label::load(MachineId(0), p0, Val(7)),
     ]);
-    println!("flushed value survives host crash: allowed = {}", exp.is_allowed(&trace));
+    println!(
+        "flushed value survives host crash: allowed = {}",
+        exp.is_allowed(&trace)
+    );
     assert!(exp.is_allowed(&trace));
 
     // Unflushed values may be lost with the host's cache:
@@ -66,7 +69,10 @@ fn main() {
         Label::crash(MachineId(0)),
         Label::load(MachineId(0), p0, Val(0)),
     ]);
-    println!("unflushed value may be lost:        allowed = {}", exp.is_allowed(&trace));
+    println!(
+        "unflushed value may be lost:        allowed = {}",
+        exp.is_allowed(&trace)
+    );
     assert!(exp.is_allowed(&trace));
 
     // In this topology LFlush and RFlush coincide (§4): check it on a
@@ -96,7 +102,11 @@ fn main() {
         println!(
             "  {:<7} {}",
             p.to_string(),
-            if topo.allows(MachineId(0), p) { "available" } else { "—" }
+            if topo.allows(MachineId(0), p) {
+                "available"
+            } else {
+                "—"
+            }
         );
     }
 }

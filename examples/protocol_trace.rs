@@ -17,8 +17,16 @@ fn main() {
     let script = [
         (Node::Host, CxlOp::Read, "host warms the line"),
         (Node::Device, CxlOp::Read, "device reads it too (shared)"),
-        (Node::Host, CxlOp::LStore, "host writes: snoop the device out"),
-        (Node::Device, CxlOp::LStore, "device writes: pulls ownership"),
+        (
+            Node::Host,
+            CxlOp::LStore,
+            "host writes: snoop the device out",
+        ),
+        (
+            Node::Device,
+            CxlOp::LStore,
+            "device writes: pulls ownership",
+        ),
         (Node::Device, CxlOp::RFlush, "device flushes it back to HM"),
         (Node::Host, CxlOp::MStore, "host NT-stores over it"),
     ];

@@ -27,10 +27,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("initial:\n{st}\n");
 
     let steps = [
-        ("① MStore(x): straight to local memory", Label::mstore(left, x, Val(1))),
-        ("② LStore(y): only the local cache", Label::lstore(left, y, Val(2))),
-        ("③ MStore(y): straight to remote memory", Label::mstore(left, y, Val(3))),
-        ("④ RStore(y): into the remote owner's cache", Label::rstore(left, y, Val(4))),
+        (
+            "① MStore(x): straight to local memory",
+            Label::mstore(left, x, Val(1)),
+        ),
+        (
+            "② LStore(y): only the local cache",
+            Label::lstore(left, y, Val(2)),
+        ),
+        (
+            "③ MStore(y): straight to remote memory",
+            Label::mstore(left, y, Val(3)),
+        ),
+        (
+            "④ RStore(y): into the remote owner's cache",
+            Label::rstore(left, y, Val(4)),
+        ),
     ];
     for (what, label) in steps {
         st = sem.apply(&st, &label)?;
@@ -62,12 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     node.lstore(y, 2)?;
     node.mstore(y, 3)?;
     node.rstore(y, 4)?;
-    println!("after ①–④: y's memory = {} (RStore still cached)", fabric.peek_memory(y));
+    println!(
+        "after ①–④: y's memory = {} (RStore still cached)",
+        fabric.peek_memory(y)
+    );
     node.rflush(y)?;
     println!("after RFlush(y): y's memory = {}", fabric.peek_memory(y));
 
     fabric.crash(right);
-    println!("right machine crashed; ops from it fail: {:?}", fabric.node(right).load(y));
+    println!(
+        "right machine crashed; ops from it fail: {:?}",
+        fabric.node(right).load(y)
+    );
     fabric.recover(right);
     println!("after recovery, Load(y) = {} — durable", node.load(y)?);
 

@@ -24,8 +24,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cxl0::model::MachineConfig::non_volatile(4096),
     ]));
     let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
-    let log = DurableLog::create(&heap, 1024, Arc::new(FlitCxl0::default()))
-        .expect("heap fits the log");
+    let log =
+        DurableLog::create(&heap, 1024, Arc::new(FlitCxl0::default())).expect("heap fits the log");
 
     println!("=== Phase 1: three producers append concurrently ===\n");
     let mut handles = Vec::new();
@@ -45,7 +45,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
     let node = fabric.node(MachineId(0));
-    println!("{total} appends completed; frontier = {}", log.frontier(&node)?);
+    println!(
+        "{total} appends completed; frontier = {}",
+        log.frontier(&node)?
+    );
 
     println!("\n=== Phase 2: a producer dies mid-append, then the memory node crashes ===\n");
     // Producer 2 reserves a slot and crashes before its payload persists

@@ -1,0 +1,15 @@
+//! # `cxl0-repro` — workspace umbrella
+//!
+//! This package owns the repository-level integration tests (`tests/`)
+//! and runnable walkthroughs (`examples/`); the implementation lives in
+//! the `crates/` workspace members, all re-exported here through the
+//! [`cxl0`] facade.
+//!
+//! Start with [`cxl0::model`] for the operational semantics and
+//! [`cxl0::runtime`] for the executable fabric; `README.md` at the
+//! repository root has the crate map.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cxl0;

@@ -73,8 +73,11 @@ fn run_against_model(variant: ModelVariant, ops: Vec<Op>) {
     for op in ops {
         match op {
             Op::Load(m, l) => {
-                let Ok(v) = nodes[m].load(loc(l % 2, l)) else { continue };
-                states = exp.after_label(&states, &Label::load(MachineId(m), loc(l % 2, l), Val(v)));
+                let Ok(v) = nodes[m].load(loc(l % 2, l)) else {
+                    continue;
+                };
+                states =
+                    exp.after_label(&states, &Label::load(MachineId(m), loc(l % 2, l), Val(v)));
             }
             Op::Store(kind, m, l, v) => {
                 let target = loc((m + l) % 2, l);
@@ -100,10 +103,18 @@ fn run_against_model(variant: ModelVariant, ops: Vec<Op>) {
             }
             Op::Faa(kind, m, l, d) => {
                 let target = loc(l % 2, l);
-                let Ok(old) = nodes[m].faa(kind, target, d) else { continue };
+                let Ok(old) = nodes[m].faa(kind, target, d) else {
+                    continue;
+                };
                 states = exp.after_label(
                     &states,
-                    &Label::rmw(kind, MachineId(m), target, Val(old), Val(old.wrapping_add(d))),
+                    &Label::rmw(
+                        kind,
+                        MachineId(m),
+                        target,
+                        Val(old),
+                        Val(old.wrapping_add(d)),
+                    ),
                 );
             }
             Op::Crash(m) => {
@@ -134,7 +145,10 @@ fn run_against_model(variant: ModelVariant, ops: Vec<Op>) {
             .all_locations()
             .all(|x| st.memory(x).raw() == fabric.peek_memory(x) || fabric.is_cached(x))
     });
-    assert!(image_matches, "no model state matches the backend's memory image");
+    assert!(
+        image_matches,
+        "no model state matches the backend's memory image"
+    );
 }
 
 proptest! {

@@ -66,7 +66,7 @@ fn flit_register_durably_linearizable_under_crash() {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
                 let machine = node.machine().index();
-                if (t + i as usize) % 2 == 0 {
+                if (t + i as usize).is_multiple_of(2) {
                     let v = (t as u64) * 1000 + i + 1;
                     let id = rec.invoke(ThreadId(t), machine, RegisterOp::Write(v));
                     match reg.write(node, v) {
@@ -115,7 +115,7 @@ fn flit_queue_durably_linearizable_under_crash() {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) && i < 30 {
                 let machine = node.machine().index();
-                if t % 2 == 0 {
+                if t.is_multiple_of(2) {
                     let v = (t as u64) * 1000 + i + 1;
                     let id = rec.invoke(ThreadId(t), machine, QueueOp::Enq(v));
                     match queue.enqueue(node, v) {

@@ -16,14 +16,19 @@ fn fig() -> Figure5 {
 }
 
 fn med(f: &Figure5, path: AccessPath, op: CxlOp) -> f64 {
-    f.median(path, op).unwrap_or_else(|| panic!("{path:?}/{op} missing")) as f64
+    f.median(path, op)
+        .unwrap_or_else(|| panic!("{path:?}/{op} missing")) as f64
 }
 
 #[test]
 fn host_local_vs_remote_read_ratio() {
     let f = fig();
-    let ratio = med(&f, AccessPath::HostToHdm, CxlOp::Read) / med(&f, AccessPath::HostToHm, CxlOp::Read);
-    assert!((2.0..2.7).contains(&ratio), "host read ratio {ratio:.2} (paper: 2.34)");
+    let ratio =
+        med(&f, AccessPath::HostToHdm, CxlOp::Read) / med(&f, AccessPath::HostToHm, CxlOp::Read);
+    assert!(
+        (2.0..2.7).contains(&ratio),
+        "host read ratio {ratio:.2} (paper: 2.34)"
+    );
 }
 
 #[test]
@@ -31,7 +36,10 @@ fn device_local_vs_remote_read_ratio() {
     let f = fig();
     let ratio = med(&f, AccessPath::DeviceToHm, CxlOp::Read)
         / med(&f, AccessPath::DeviceToHdmDeviceBias, CxlOp::Read);
-    assert!((1.6..2.4).contains(&ratio), "device read ratio {ratio:.2} (paper: 1.94)");
+    assert!(
+        (1.6..2.4).contains(&ratio),
+        "device read ratio {ratio:.2} (paper: 1.94)"
+    );
 }
 
 #[test]
@@ -54,8 +62,14 @@ fn device_store_ladder_to_hm() {
     let ms = med(&f, AccessPath::DeviceToHm, CxlOp::MStore);
     let r1 = rs / ls;
     let r2 = ms / rs;
-    assert!((1.7..2.5).contains(&r1), "RStore/LStore {r1:.2} (paper: 2.08)");
-    assert!((1.2..1.7).contains(&r2), "MStore/RStore {r2:.2} (paper: 1.45)");
+    assert!(
+        (1.7..2.5).contains(&r1),
+        "RStore/LStore {r1:.2} (paper: 2.08)"
+    );
+    assert!(
+        (1.2..1.7).contains(&r2),
+        "MStore/RStore {r2:.2} (paper: 1.45)"
+    );
 }
 
 #[test]
@@ -106,7 +120,13 @@ fn seven_cells_not_measurable() {
 #[test]
 fn device_bias_is_never_slower_than_host_bias() {
     let f = fig();
-    for op in [CxlOp::Read, CxlOp::LStore, CxlOp::RStore, CxlOp::MStore, CxlOp::RFlush] {
+    for op in [
+        CxlOp::Read,
+        CxlOp::LStore,
+        CxlOp::RStore,
+        CxlOp::MStore,
+        CxlOp::RFlush,
+    ] {
         let hb = med(&f, AccessPath::DeviceToHdmHostBias, op);
         let db = med(&f, AccessPath::DeviceToHdmDeviceBias, op);
         assert!(db <= hb, "{op}: device-bias {db} > host-bias {hb}");

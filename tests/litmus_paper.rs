@@ -4,9 +4,9 @@
 //! states one.
 
 use cxl0::explore::litmus::run_suite;
+use cxl0::explore::Explorer;
 use cxl0::explore::{paper, Verdict};
 use cxl0::model::{Label, Loc, MachineId, ModelVariant, Semantics, SystemConfig, Trace, Val};
-use cxl0::explore::Explorer;
 
 #[test]
 fn full_paper_suite_matches() {
@@ -71,7 +71,10 @@ fn owner_flush_strengthens_test_4() {
         Label::crash(m2),
         Label::load(m1, x2, Val(0)),
     ]);
-    assert!(!exp.is_allowed(&trace), "owner LFlush must persist the value");
+    assert!(
+        !exp.is_allowed(&trace),
+        "owner LFlush must persist the value"
+    );
 }
 
 /// GPF makes everything durable before a crash (the paper's snapshot

@@ -6,9 +6,7 @@
 //! 3. `CXL0_PSN` and `CXL0_LWB` are incomparable.
 
 use cxl0::explore::{check_refinement, incomparability_witnesses, AlphabetBuilder, Explorer};
-use cxl0::model::{
-    Label, MachineConfig, ModelVariant, Primitive, Semantics, SystemConfig, Val,
-};
+use cxl0::model::{Label, MachineConfig, ModelVariant, Primitive, Semantics, SystemConfig, Val};
 
 /// §3.5's configuration: machine 1 NVMM, machine 2 volatile.
 fn cfg() -> SystemConfig {
@@ -55,7 +53,9 @@ fn base_refines_neither_variant() {
     for v in [ModelVariant::Psn, ModelVariant::Lwb] {
         let var = Semantics::with_variant(cfg.clone(), v);
         let r = check_refinement(&base, &var, &alpha, 5);
-        let witness = r.counterexample().expect("CXL0 must not refine the variants");
+        let witness = r
+            .counterexample()
+            .expect("CXL0 must not refine the variants");
         // The witness must itself be executable in base and not in the
         // variant — double-check against the interpreter.
         let base_exp = Explorer::new(&base);

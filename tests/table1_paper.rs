@@ -13,7 +13,8 @@ fn generated_table_equals_paper() {
     for (key, want) in &expected {
         let got = &table.cells[key];
         assert_eq!(
-            got, want,
+            got,
+            want,
             "{key:?}: generated `{}`, paper has `{}`",
             got.render(),
             want.render()
@@ -69,14 +70,16 @@ fn narrative_state_enumeration_for_host_read() {
     use cxl0::protocol::MesiState;
     let (_, analyzer) = generate_table1();
     for obs in analyzer.observations() {
-        if obs.node == Node::Host
-            && obs.op == CxlOp::Read
-            && obs.target == MemTarget::HostMemory
-        {
+        if obs.node == Node::Host && obs.op == CxlOp::Read && obs.target == MemTarget::HostMemory {
             if obs.before.device == MesiState::I {
                 assert!(obs.transactions.is_empty(), "{:?}", obs.before);
             } else {
-                assert_eq!(obs.transactions, vec![Transaction::SNP_INV], "{:?}", obs.before);
+                assert_eq!(
+                    obs.transactions,
+                    vec![Transaction::SNP_INV],
+                    "{:?}",
+                    obs.before
+                );
             }
         }
     }
@@ -87,9 +90,25 @@ fn table_text_round_trips_key_content() {
     let (table, _) = generate_table1();
     let text = table.to_text();
     for needle in [
-        "Read", "LStore", "RStore", "MStore", "LFlush", "RFlush", "???", "SnpInv", "MemRdData",
-        "MemWr", "MemInv", "RdShared", "RdOwn", "ItoMWr", "CleanEvict", "DirtyEvict",
-        "WOWrInv/F", "WrInv", "None",
+        "Read",
+        "LStore",
+        "RStore",
+        "MStore",
+        "LFlush",
+        "RFlush",
+        "???",
+        "SnpInv",
+        "MemRdData",
+        "MemWr",
+        "MemInv",
+        "RdShared",
+        "RdOwn",
+        "ItoMWr",
+        "CleanEvict",
+        "DirtyEvict",
+        "WOWrInv/F",
+        "WrInv",
+        "None",
     ] {
         assert!(text.contains(needle), "missing {needle} in:\n{text}");
     }

@@ -5,8 +5,8 @@
 
 use cxl0::explore::{Explorer, StateSet};
 use cxl0::model::{
-    Label, Loc, MachineConfig, MachineId, Primitive, Semantics, StepError, SystemConfig,
-    Topology, Trace, Val,
+    Label, Loc, MachineConfig, MachineId, Primitive, Semantics, StepError, SystemConfig, Topology,
+    Trace, Val,
 };
 
 const HOST: MachineId = MachineId(0);
@@ -15,11 +15,20 @@ const DEVICE: MachineId = MachineId(1);
 #[test]
 fn host_device_pair_grants_match_paper() {
     let t = Topology::host_device_pair();
-    let host_denied = [Primitive::RStore, Primitive::LFlush, Primitive::RRmw, Primitive::MRmw];
+    let host_denied = [
+        Primitive::RStore,
+        Primitive::LFlush,
+        Primitive::RRmw,
+        Primitive::MRmw,
+    ];
     let device_denied = [Primitive::LFlush, Primitive::RRmw, Primitive::MRmw];
     for p in Primitive::ISSUED {
         assert_eq!(t.allows(HOST, p), !host_denied.contains(&p), "host {p}");
-        assert_eq!(t.allows(DEVICE, p), !device_denied.contains(&p), "device {p}");
+        assert_eq!(
+            t.allows(DEVICE, p),
+            !device_denied.contains(&p),
+            "device {p}"
+        );
     }
 }
 
@@ -32,7 +41,9 @@ fn restricted_semantics_rejects_denied_primitives() {
     // Host RStore: ??? in Table 1.
     assert!(matches!(
         sem.apply(&st, &Label::rstore(HOST, y, Val(1))),
-        Err(StepError::NotAllowed { topology: "host-device-pair" })
+        Err(StepError::NotAllowed {
+            topology: "host-device-pair"
+        })
     ));
     // Device RStore: fine.
     assert!(sem.apply(&st, &Label::rstore(DEVICE, y, Val(1))).is_ok());
@@ -53,7 +64,10 @@ fn partitioned_pool_disables_cache_to_cache_propagation() {
     let sem = Semantics::new(cfg).restricted(Topology::partitioned_pool(2));
     let st = sem.initial_state();
     let st = sem
-        .apply(&st, &Label::lstore(MachineId(0), Loc::new(MachineId(1), 0), Val(1)))
+        .apply(
+            &st,
+            &Label::lstore(MachineId(0), Loc::new(MachineId(1), 0), Val(1)),
+        )
         .unwrap();
     // Without Propagate-C-C, the only silent step for a foreign-owned
     // line... does not exist; owner-held lines still drain C-M.

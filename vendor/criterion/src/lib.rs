@@ -1,0 +1,236 @@
+//! Offline shim of the [`criterion`] API surface this workspace's benches
+//! use: `Criterion`, benchmark groups, `BenchmarkId`, `Throughput`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no crates.io access, so the real crate cannot
+//! be fetched. This shim measures median wall-clock time over
+//! `sample_size` samples and prints one line per benchmark — no warm-up
+//! modelling, outlier analysis, or HTML reports. Bench *code* compiles and
+//! runs identically, so `cargo bench --no-run` gives the same bit-rot
+//! protection as with the real crate.
+//!
+//! [`criterion`]: https://docs.rs/criterion/0.5
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function part and a parameter part.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id with only a parameter part.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures for one benchmark.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    /// Median per-iteration time of the last `iter` call.
+    elapsed: Option<Duration>,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records its median wall-clock time.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // One untimed pass to touch caches/lazy state.
+        black_box(routine());
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed());
+        }
+        samples.sort();
+        self.elapsed = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut b = Bencher {
+        sample_size,
+        elapsed: None,
+    };
+    f(&mut b);
+    match b.elapsed {
+        Some(t) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) if t.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} elem/s)", n as f64 / t.as_secs_f64())
+                }
+                Some(Throughput::Bytes(n)) if t.as_secs_f64() > 0.0 => {
+                    format!("  ({:.3e} B/s)", n as f64 / t.as_secs_f64())
+                }
+                _ => String::new(),
+            };
+            println!("bench: {name:<60} median {t:>12.3?}{rate}");
+        }
+        None => println!("bench: {name:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    // Held only so groups serialize like real criterion's borrow does.
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Overrides the sample count for this group only (as in real
+    /// criterion, the parent `Criterion` is unaffected).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, f);
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.throughput, |b| f(b, input));
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // The real default (100) makes some simulation benches take
+        // minutes; 20 keeps `cargo bench` usable while staying a median.
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Honoured for CLI compatibility; this shim takes no arguments.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks `f` under `id` outside any group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, f: impl FnOnce(&mut Bencher)) {
+        run_one(&id.into().to_string(), self.sample_size, None, f);
+    }
+}
+
+/// Declares a group function running the given benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,225 @@
+//! Case execution: configuration, the deterministic RNG, failure
+//! plumbing, and the [`TestRunner`].
+
+use std::fmt;
+
+use crate::strategy::Strategy;
+
+/// Run configuration. Only `cases` is honoured (the real crate's other
+/// knobs concern shrinking and persistence, which this shim omits).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Alias kept for source compatibility with `proptest::test_runner::Config`.
+pub type Config = ProptestConfig;
+
+/// Deterministic generator driving all strategies; the core is the
+/// vendored `rand` shim's xoshiro256++ `StdRng`.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: rand::rngs::StdRng,
+}
+
+impl TestRng {
+    /// Seeds deterministically from an arbitrary byte string (such as a
+    /// test's module path), so distinct tests draw distinct sequences but
+    /// every run of one test draws the same sequence.
+    pub fn from_name(name: &str) -> Self {
+        use rand::SeedableRng;
+        // FNV-1a over the name picks the 64-bit seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            inner: rand::rngs::StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        rand::RngCore::next_u64(&mut self.inner)
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        TestRng::next_u64(self)
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assert!`-style failure: the property is false for this input.
+    Fail {
+        /// The assertion message.
+        message: String,
+        /// Rendering of the generated inputs, when known.
+        input: Option<String>,
+    },
+    /// `prop_assume!`-style rejection: the input is outside the property's
+    /// precondition and the case should be skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Builds a failure.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail {
+            message: message.into(),
+            input: None,
+        }
+    }
+
+    /// Builds a rejection.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// Attaches a rendering of the generated inputs to a failure.
+    pub fn with_input(self, input: String) -> Self {
+        match self {
+            TestCaseError::Fail { message, .. } => TestCaseError::Fail {
+                message,
+                input: Some(input),
+            },
+            reject => reject,
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail { message, input } => {
+                write!(f, "{message}")?;
+                if let Some(input) = input {
+                    write!(f, "\nfailing input (unshrunk):\n{input}")?;
+                }
+                Ok(())
+            }
+            TestCaseError::Reject(reason) => write!(f, "rejected: {reason}"),
+        }
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Error returned by [`TestRunner::run`] when a case fails.
+#[derive(Debug, Clone)]
+pub struct TestError {
+    /// The underlying case failure.
+    pub error: TestCaseError,
+}
+
+impl fmt::Display for TestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "property test failed: {}", self.error)
+    }
+}
+
+impl std::error::Error for TestError {}
+
+/// Executes many cases of a property.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        TestRunner {
+            config: ProptestConfig::default(),
+            rng: TestRng::from_name("proptest::test_runner::TestRunner::default"),
+        }
+    }
+}
+
+impl TestRunner {
+    /// Builds a runner with `config` and a seed derived from `name`.
+    pub fn new_for_test(config: ProptestConfig, name: &str) -> Self {
+        TestRunner {
+            rng: TestRng::from_name(name),
+            config,
+        }
+    }
+
+    /// Builds a runner with `config` and a fixed default seed.
+    pub fn new(config: ProptestConfig) -> Self {
+        Self::new_for_test(config, "proptest::test_runner::TestRunner::new")
+    }
+
+    /// Runs up to `cases` draws from `strategy` through `test`,
+    /// returning the first failure. Rejections are skipped (with a cap
+    /// against vacuous properties).
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut test: impl FnMut(S::Value) -> TestCaseResult,
+    ) -> Result<(), TestError> {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        while passed < self.config.cases {
+            let value = strategy.generate(&mut self.rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property rejected too many inputs \
+                             ({rejected} rejections for {passed} passes)"
+                        );
+                    }
+                }
+                Err(error) => return Err(TestError { error }),
+            }
+        }
+        Ok(())
+    }
+
+    /// Driver for the `proptest!` macro: like [`TestRunner::run`] but the
+    /// closure draws its own inputs from the RNG, and failures panic (so
+    /// the surrounding `#[test]` fails normally).
+    pub fn run_cases(&mut self, mut case: impl FnMut(&mut TestRng) -> TestCaseResult) {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let max_rejects = self.config.cases.saturating_mul(16).max(1024);
+        while passed < self.config.cases {
+            match case(&mut self.rng) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    if rejected > max_rejects {
+                        panic!(
+                            "property rejected too many inputs \
+                             ({rejected} rejections for {passed} passes)"
+                        );
+                    }
+                }
+                Err(error) => panic!("property test failed after {passed} passing cases: {error}"),
+            }
+        }
+    }
+}
