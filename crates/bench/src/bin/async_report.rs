@@ -12,28 +12,31 @@
 
 use std::sync::Arc;
 
-use cxl0_bench::MEM_NODE;
-use cxl0_model::{Loc, MachineId, SystemConfig};
-use cxl0_runtime::{FlitAsync, FlitCxl0, Persistence, SharedHeap, SimFabric};
+use cxl0_bench::bench_cluster;
+use cxl0_model::{Loc, MachineId};
+use cxl0_runtime::api::PersistMode;
+use cxl0_runtime::{FlitAsync, FlitCxl0, Persistence};
 
 const OPS: usize = 2_000;
 
 fn run(k: usize, strategy: Arc<dyn Persistence>, raise: impl Fn(Loc)) -> (f64, f64, f64) {
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 12));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM_NODE));
-    let cells: Vec<Loc> = (0..k).map(|_| heap.alloc(1).expect("heap fits")).collect();
+    // The cluster supplies fabric + heap; the strategies under test are
+    // concrete (their raise_counter hooks are not on the trait).
+    let cluster = bench_cluster(1 << 12, PersistMode::None);
+    let cells: Vec<Loc> = (0..k)
+        .map(|_| cluster.heap().alloc(1).expect("heap fits"))
+        .collect();
     for &c in &cells {
         raise(c);
     }
-    let node = fabric.node(MachineId(0));
-    let before = fabric.stats().snapshot();
+    let session = cluster.session(MachineId(0));
     for _ in 0..OPS {
         for &c in &cells {
-            strategy.shared_load(&node, c, true).unwrap();
+            strategy.shared_load(session.node(), c, true).unwrap();
         }
-        strategy.complete_op(&node).unwrap();
+        strategy.complete_op(session.node()).unwrap();
     }
-    let s = fabric.stats().snapshot().since(&before);
+    let s = session.stats_delta();
     (
         s.sim_ns as f64 / OPS as f64,
         s.flushes() as f64 / OPS as f64,

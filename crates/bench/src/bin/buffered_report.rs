@@ -5,18 +5,15 @@
 //! them. The sweep shows the throughput/durability-window tradeoff against
 //! the strict baselines (`flit-cxl0`, `naive-mstore`): larger intervals
 //! approach the no-durability floor, at the price of up to `k-1` completed
-//! operations rolled back by a crash.
+//! operations rolled back by a crash. Strategies are selected with
+//! [`PersistMode`] — switching durability is cluster configuration, not a
+//! type change.
 //!
 //! Run: `cargo run -p cxl0-bench --bin buffered_report --release`
 
-use std::sync::Arc;
-
-use cxl0_bench::MEM_NODE;
-use cxl0_model::{MachineId, SystemConfig};
-use cxl0_runtime::{
-    BufferedEpoch, DurableMap, FlitCxl0, NaiveMStore, NoPersistence, Persistence, SharedHeap,
-    SimFabric,
-};
+use cxl0_bench::bench_cluster;
+use cxl0_model::MachineId;
+use cxl0_runtime::api::PersistMode;
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 const OPS: usize = 20_000;
@@ -29,31 +26,28 @@ struct Row {
     at_risk: String,
 }
 
-fn run(
-    label: &str,
-    strategy: Arc<dyn Persistence>,
-    heap: &Arc<SharedHeap>,
-    fabric: &Arc<SimFabric>,
-    at_risk: &str,
-) -> Row {
-    let map = DurableMap::create(heap, 1024, strategy).expect("heap fits the map");
-    let node = fabric.node(MachineId(0));
+fn run(label: &str, mode: PersistMode, at_risk: &str) -> Row {
+    let cluster = bench_cluster(1 << 18, mode);
+    let map = cluster
+        .session(MachineId(0))
+        .create_map::<u64, u64>("bench/map", 1024)
+        .expect("heap fits the map");
+    let session = cluster.session(MachineId(0)); // measurement window
     let mut w = Workload::new(KeyDist::zipfian(512, 0.99), OpMix::update_heavy(), 42);
-    let before = fabric.stats().snapshot();
     for op in w.take_ops(OPS) {
         match op {
             WorkloadOp::Read(k) => {
-                map.get(&node, k).unwrap();
+                map.get(&session, k).unwrap();
             }
             WorkloadOp::Insert(k, v) => {
-                map.insert(&node, k, v).unwrap();
+                map.insert(&session, k, v).unwrap();
             }
             WorkloadOp::Remove(k) => {
-                map.remove(&node, k).unwrap();
+                map.remove(&session, k).unwrap();
             }
         }
     }
-    let s = fabric.stats().snapshot().since(&before);
+    let s = session.stats_delta();
     Row {
         label: label.to_string(),
         sim_ns_per_op: s.sim_ns as f64 / OPS as f64,
@@ -61,12 +55,6 @@ fn run(
         mstores_per_op: s.mstores as f64 / OPS as f64,
         at_risk: at_risk.to_string(),
     }
-}
-
-fn fresh() -> (Arc<SimFabric>, Arc<SharedHeap>) {
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 18));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM_NODE));
-    (fabric, heap)
 }
 
 fn main() {
@@ -77,47 +65,19 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    {
-        let (fabric, heap) = fresh();
-        rows.push(run(
-            "none (not durable)",
-            Arc::new(NoPersistence),
-            &heap,
-            &fabric,
-            "all",
-        ));
-    }
+    rows.push(run("none (not durable)", PersistMode::None, "all"));
     for interval in [1usize, 4, 16, 64, 256] {
-        let (fabric, heap) = fresh();
-        let b = Arc::new(BufferedEpoch::create(&heap, 8192, interval).expect("heap fits"));
         rows.push(run(
             &format!("buffered (sync={interval})"),
-            b,
-            &heap,
-            &fabric,
+            PersistMode::Buffered {
+                capacity: 8192,
+                sync_interval: interval,
+            },
             &format!("≤ {}", interval.saturating_sub(1)),
         ));
     }
-    {
-        let (fabric, heap) = fresh();
-        rows.push(run(
-            "flit-cxl0",
-            Arc::new(FlitCxl0::default()),
-            &heap,
-            &fabric,
-            "0",
-        ));
-    }
-    {
-        let (fabric, heap) = fresh();
-        rows.push(run(
-            "naive-mstore",
-            Arc::new(NaiveMStore),
-            &heap,
-            &fabric,
-            "0",
-        ));
-    }
+    rows.push(run("flit-cxl0", PersistMode::FlitCxl0, "0"));
+    rows.push(run("naive-mstore", PersistMode::NaiveMStore, "0"));
 
     for r in &rows {
         println!(

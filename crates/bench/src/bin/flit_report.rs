@@ -8,7 +8,8 @@
 //!
 //! Run: `cargo run -p cxl0-bench --bin flit_report --release`
 
-use cxl0_bench::{all_strategies, run_map_workload, run_queue_workload, standard_map_workload};
+use cxl0_bench::{run_map_workload, run_queue_workload, standard_map_workload};
+use cxl0_runtime::api::PersistMode;
 
 fn main() {
     const N: usize = 20_000;
@@ -28,9 +29,9 @@ fn main() {
         "sim ns/op",
         "wall ns/op"
     );
-    for strategy in all_strategies() {
+    for mode in PersistMode::comparison_set() {
         let mut w = standard_map_workload(42);
-        let r = run_map_workload(strategy, &mut w, N);
+        let r = run_map_workload(mode, &mut w, N);
         let per = |x: u64| x as f64 / r.ops as f64;
         println!(
             "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>12.1} {:>12.1}",
@@ -57,8 +58,8 @@ fn main() {
         "sim ns/op",
         "wall ns/op"
     );
-    for strategy in all_strategies() {
-        let r = run_queue_workload(strategy, N);
+    for mode in PersistMode::comparison_set() {
+        let r = run_queue_workload(mode, N);
         let per = |x: u64| x as f64 / r.ops as f64;
         println!(
             "{:<16} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>12.1} {:>12.1}",

@@ -21,26 +21,12 @@
 use std::sync::Arc;
 
 use cxl0_model::{MachineId, SystemConfig};
-use cxl0_runtime::{
-    DurableMap, DurableQueue, FlitAsync, FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore,
-    NoPersistence, Persistence, SharedHeap, SimFabric, StatsSnapshot,
-};
+use cxl0_runtime::api::{Cluster, PersistMode};
+use cxl0_runtime::{SharedHeap, SimFabric, StatsSnapshot};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// The machine hosting benchmark data structures.
 pub const MEM_NODE: MachineId = MachineId(2);
-
-/// All six persistence strategies, in report order.
-pub fn all_strategies() -> Vec<Arc<dyn Persistence>> {
-    vec![
-        Arc::new(NoPersistence),
-        Arc::new(FlitX86::default()),
-        Arc::new(FlitCxl0::default()),
-        Arc::new(FlitOwnerOpt::default()),
-        Arc::new(FlitAsync::default()),
-        Arc::new(NaiveMStore),
-    ]
-}
 
 /// Result of one workload run under one strategy.
 #[derive(Debug, Clone)]
@@ -64,43 +50,54 @@ impl RunReport {
     }
 }
 
-/// A fresh 2-compute + 1-memory fabric with `cells` shared cells.
+/// A fresh 2-compute + 1-memory fabric with `cells` shared cells (the
+/// low-level layer, for the criterion benches that drive primitives).
 pub fn bench_fabric(cells: u32) -> (Arc<SimFabric>, Arc<SharedHeap>) {
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, cells));
     let heap = Arc::new(SharedHeap::new(fabric.config(), MEM_NODE));
     (fabric, heap)
 }
 
-/// Runs `n` map operations from `workload` under `strategy`, returning a
+/// A fresh 2-compute + 1-memory [`Cluster`] with `cells` shared cells
+/// under `mode` — the session-API counterpart of [`bench_fabric`]. The
+/// memory node is [`MEM_NODE`].
+pub fn bench_cluster(cells: u32, mode: PersistMode) -> Arc<Cluster> {
+    Cluster::builder(SystemConfig::symmetric_nvm(3, cells))
+        .memory_node(MEM_NODE)
+        .persist(mode)
+        .build()
+        .expect("benchmark cluster configuration is valid")
+}
+
+/// Runs `n` map operations from `workload` under `mode`, returning a
 /// report of primitive counts and per-op costs.
-pub fn run_map_workload(
-    strategy: Arc<dyn Persistence>,
-    workload: &mut Workload,
-    n: usize,
-) -> RunReport {
-    let name = strategy.name();
-    let (fabric, heap) = bench_fabric(1 << 18);
-    let map = DurableMap::create(&heap, 4096, strategy).expect("heap fits the map");
-    let node = fabric.node(MachineId(0));
-    let before = fabric.stats().snapshot();
+pub fn run_map_workload(mode: PersistMode, workload: &mut Workload, n: usize) -> RunReport {
+    let cluster = bench_cluster(1 << 18, mode);
+    let setup = cluster.session(MachineId(0));
+    let map = setup
+        .create_map::<u64, u64>("bench/map", 4096)
+        .expect("heap fits the map");
+    // A fresh session's entry snapshot starts the measurement window
+    // after setup; `stats_delta` at the end is the whole diff dance.
+    let session = cluster.session(MachineId(0));
     let start = std::time::Instant::now();
     for op in workload.take_ops(n) {
         match op {
             WorkloadOp::Read(k) => {
-                map.get(&node, k).unwrap();
+                map.get(&session, k).unwrap();
             }
             WorkloadOp::Insert(k, v) => {
-                map.insert(&node, k, v).unwrap();
+                map.insert(&session, k, v).unwrap();
             }
             WorkloadOp::Remove(k) => {
-                map.remove(&node, k).unwrap();
+                map.remove(&session, k).unwrap();
             }
         }
     }
     let wall = start.elapsed().as_nanos() as f64;
-    let stats = fabric.stats().snapshot().since(&before);
+    let stats = session.stats_delta();
     RunReport {
-        strategy: name,
+        strategy: mode.name(),
         ops: n,
         sim_ns_per_op: stats.sim_ns as f64 / n as f64,
         wall_ns_per_op: wall / n as f64,
@@ -108,23 +105,23 @@ pub fn run_map_workload(
     }
 }
 
-/// Runs `n` enqueue/dequeue pairs under `strategy`.
-pub fn run_queue_workload(strategy: Arc<dyn Persistence>, n: usize) -> RunReport {
-    let name = strategy.name();
-    let (fabric, heap) = bench_fabric(1 << 18);
-    let queue = DurableQueue::create(&heap, strategy).expect("heap fits the queue");
-    let node = fabric.node(MachineId(0));
-    queue.init(&node).unwrap();
-    let before = fabric.stats().snapshot();
+/// Runs `n` enqueue/dequeue pairs under `mode`.
+pub fn run_queue_workload(mode: PersistMode, n: usize) -> RunReport {
+    let cluster = bench_cluster(1 << 18, mode);
+    let setup = cluster.session(MachineId(0));
+    let queue = setup
+        .create_queue::<u64>("bench/queue")
+        .expect("heap fits the queue");
+    let session = cluster.session(MachineId(0));
     let start = std::time::Instant::now();
     for i in 0..n as u64 {
-        queue.enqueue(&node, i + 1).unwrap();
-        queue.dequeue(&node).unwrap();
+        queue.enqueue(&session, i + 1).unwrap();
+        queue.dequeue(&session).unwrap();
     }
     let wall = start.elapsed().as_nanos() as f64;
-    let stats = fabric.stats().snapshot().since(&before);
+    let stats = session.stats_delta();
     RunReport {
-        strategy: name,
+        strategy: mode.name(),
         ops: 2 * n,
         sim_ns_per_op: stats.sim_ns as f64 / (2 * n) as f64,
         wall_ns_per_op: wall / (2 * n) as f64,
@@ -144,7 +141,7 @@ mod tests {
     #[test]
     fn map_workload_reports_counts() {
         let mut w = standard_map_workload(7);
-        let r = run_map_workload(Arc::new(FlitCxl0::default()), &mut w, 500);
+        let r = run_map_workload(PersistMode::FlitCxl0, &mut w, 500);
         assert_eq!(r.strategy, "flit-cxl0");
         assert_eq!(r.ops, 500);
         assert!(r.stats.total_ops() > 500);
@@ -156,8 +153,8 @@ mod tests {
     fn naive_beats_flit_on_flush_count_but_not_sim_time() {
         let mut w1 = standard_map_workload(9);
         let mut w2 = standard_map_workload(9);
-        let flit = run_map_workload(Arc::new(FlitCxl0::default()), &mut w1, 800);
-        let naive = run_map_workload(Arc::new(NaiveMStore), &mut w2, 800);
+        let flit = run_map_workload(PersistMode::FlitCxl0, &mut w1, 800);
+        let naive = run_map_workload(PersistMode::NaiveMStore, &mut w2, 800);
         assert_eq!(naive.stats.flushes(), 0);
         assert!(flit.stats.flushes() > 0);
         // The naive transform pays the remote-memory round trip on every
@@ -173,17 +170,18 @@ mod tests {
 
     #[test]
     fn queue_workload_runs_under_all_strategies() {
-        for s in all_strategies() {
-            let r = run_queue_workload(s, 300);
+        for mode in PersistMode::comparison_set() {
+            let r = run_queue_workload(mode, 300);
             assert_eq!(r.ops, 600);
             assert!(r.stats.total_ops() > 0, "{}", r.strategy);
+            assert_eq!(r.strategy, mode.name());
         }
     }
 
     #[test]
     fn flit_async_uses_buffers_not_sync_flushes() {
         let mut w = standard_map_workload(11);
-        let r = run_map_workload(Arc::new(cxl0_runtime::FlitAsync::default()), &mut w, 500);
+        let r = run_map_workload(PersistMode::FlitAsync, &mut w, 500);
         assert_eq!(r.strategy, "flit-async");
         assert!(r.stats.aflushes > 0, "expected asynchronous flushes");
         assert!(r.stats.barriers > 0, "expected barriers");

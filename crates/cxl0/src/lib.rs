@@ -5,6 +5,7 @@
 //!
 //! | Module | Crate | Paper artefact |
 //! |---|---|---|
+//! | [`api`] | `cxl0-runtime` | **the programming model**: `Cluster`/`Session`, typed durable handles (`Word`), `PersistMode`, the durable named-root registry |
 //! | [`model`] | `cxl0-model` | the CXL0 operational semantics (§3, Fig. 2), variants (§3.5), topologies (§4), `CXL0_AF` async flushes (§3.2 extension) |
 //! | [`explore`] | `cxl0-explore` | litmus tests (Fig. 3 + A1–A8), Proposition 1, variant refinement (FDR4 analogue) |
 //! | [`protocol`] | `cxl0-protocol` | CXL.cache/CXL.mem transaction engine + Table 1 (§5.1), CXL 3.0 BISnp pool (§4) |
@@ -13,7 +14,30 @@
 //! | [`dlcheck`] | `cxl0-dlcheck` | durable + buffered-durable linearizability checking (§6, §8) |
 //! | [`workloads`] | `cxl0-workloads` | benchmark workload generation |
 //!
-//! ## Quickstart
+//! ## Quickstart: the programming model
+//!
+//! ```
+//! use cxl0::api::Cluster;
+//! use cxl0::model::MachineId;
+//!
+//! // Two compute nodes + one NVM memory node, FliT-CXL0 durability.
+//! let cluster = Cluster::symmetric(2, 4096)?;
+//! let session = cluster.session(MachineId(0));
+//!
+//! let jobs = session.create_queue::<u64>("jobs")?;
+//! jobs.enqueue(&session, 7)?;
+//!
+//! // The memory node crashes and recovers; reattach *by name* through
+//! // the durable named-root registry — no header address bookkeeping.
+//! cluster.crash(cluster.memory_node());
+//! cluster.recover(cluster.memory_node());
+//! let jobs = session.open_queue::<u64>("jobs")?;
+//! jobs.recover(&session)?;
+//! assert_eq!(jobs.dequeue(&session)?, Some(7));
+//! # Ok::<(), cxl0::api::ApiError>(())
+//! ```
+//!
+//! ## The formal side
 //!
 //! ```
 //! use cxl0::explore::{paper, litmus::run_suite};
@@ -25,6 +49,8 @@
 //!
 //! See `examples/` at the repository root for runnable walkthroughs and
 //! `crates/bench` for the per-table/per-figure regeneration harnesses.
+//! The low-level runtime layer (`runtime::backend`, `runtime::heap`,
+//! `runtime::flit`) stays public for primitive-level experiments.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -36,3 +62,6 @@ pub use cxl0_model as model;
 pub use cxl0_protocol as protocol;
 pub use cxl0_runtime as runtime;
 pub use cxl0_workloads as workloads;
+
+pub use cxl0_runtime::api;
+pub use cxl0_runtime::durable_word;

@@ -1,0 +1,419 @@
+//! [`ClusterBuilder`] → [`Cluster`]: one value that owns the whole
+//! deployment — topology, model variant, cost model, durability strategy
+//! and the named-root registry — so application code never hand-assembles
+//! fabric + heap + persistence again.
+
+use std::sync::Arc;
+
+use cxl0_model::{MachineId, ModelVariant, SystemConfig};
+
+use crate::api::error::{ApiError, ApiResult};
+use crate::api::registry::{RootDirectory, ENTRY_CELLS};
+use crate::api::session::Session;
+use crate::backend::{SimFabric, Stats};
+use crate::buffered::BufferedEpoch;
+use crate::cost::CostModel;
+use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, Persistence};
+use crate::flit_async::FlitAsync;
+use crate::heap::SharedHeap;
+
+/// Which durability strategy a [`Cluster`] wires its structures to —
+/// choosing one is a one-line configuration change instead of a type
+/// swap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistMode {
+    /// FliT adapted to CXL0 (Algorithm 2): every flagged access is
+    /// durable before its operation returns. The recommended default.
+    FlitCxl0,
+    /// [`PersistMode::FlitCxl0`] with the §6.1 owner-flush optimisation.
+    OwnerOpt,
+    /// The *unadapted* x86 FliT — **deliberately unsound** under partial
+    /// crashes; kept for the §6 motivating comparison.
+    FlitX86,
+    /// FliT's Algorithm 1 on the `CXL0_AF` asynchronous-flush extension:
+    /// helping flushes defer to one overlapped barrier per operation.
+    FlitAsync,
+    /// Every flagged store is an `MStore`: correct without flushes, but
+    /// pays the memory round trip on every write.
+    NaiveMStore,
+    /// No durability at all: plain linearizable objects.
+    None,
+    /// Buffered durability (§8): flush-free fast path, epoch syncs with a
+    /// redo log, rollback recovery — *buffered* durably linearizable.
+    Buffered {
+        /// Distinct tracked cells per epoch (snapshot region size).
+        capacity: u32,
+        /// Auto-[`sync`](BufferedEpoch::sync) every this many completed
+        /// operations (`0` = manual syncs only).
+        sync_interval: usize,
+    },
+}
+
+impl PersistMode {
+    /// The strategy's report name (matches
+    /// [`Persistence::name`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            PersistMode::FlitCxl0 => "flit-cxl0",
+            PersistMode::OwnerOpt => "flit-owner-opt",
+            PersistMode::FlitX86 => "flit-x86",
+            PersistMode::FlitAsync => "flit-async",
+            PersistMode::NaiveMStore => "naive-mstore",
+            PersistMode::None => "none",
+            PersistMode::Buffered { .. } => "buffered",
+        }
+    }
+
+    /// The standard strategy-comparison lineup, in report order: baseline
+    /// first, then the unsound port, the sound transformations, and the
+    /// naive one.
+    pub fn comparison_set() -> Vec<PersistMode> {
+        vec![
+            PersistMode::None,
+            PersistMode::FlitX86,
+            PersistMode::FlitCxl0,
+            PersistMode::OwnerOpt,
+            PersistMode::FlitAsync,
+            PersistMode::NaiveMStore,
+        ]
+    }
+
+    /// True if a completed operation is guaranteed durable before it
+    /// returns (the strict, per-operation durability modes).
+    pub fn is_strict(&self) -> bool {
+        matches!(
+            self,
+            PersistMode::FlitCxl0
+                | PersistMode::OwnerOpt
+                | PersistMode::FlitAsync
+                | PersistMode::NaiveMStore
+        )
+    }
+}
+
+/// Configures and builds a [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use cxl0_runtime::api::{Cluster, PersistMode};
+/// use cxl0_model::{ModelVariant, SystemConfig};
+///
+/// let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 4096))
+///     .variant(ModelVariant::Base)
+///     .persist(PersistMode::FlitCxl0)
+///     .build()?;
+/// assert_eq!(cluster.memory_node().index(), 2);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    cfg: SystemConfig,
+    variant: ModelVariant,
+    cost: CostModel,
+    mode: PersistMode,
+    memory_node: Option<MachineId>,
+    root_capacity: u32,
+}
+
+impl ClusterBuilder {
+    /// Starts from a topology. Defaults: base variant, Figure-5 cost
+    /// model, [`PersistMode::FlitCxl0`], the highest-indexed machine with
+    /// shared locations as the memory node, 32 registry entries.
+    pub fn new(cfg: SystemConfig) -> Self {
+        ClusterBuilder {
+            cfg,
+            variant: ModelVariant::Base,
+            cost: CostModel::figure5(),
+            mode: PersistMode::FlitCxl0,
+            memory_node: None,
+            root_capacity: 32,
+        }
+    }
+
+    /// Sets the model variant (`Base`, `Psn`, `Lwb`).
+    pub fn variant(mut self, variant: ModelVariant) -> Self {
+        self.variant = variant;
+        self
+    }
+
+    /// Sets the simulated-latency cost model.
+    pub fn cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the durability strategy.
+    pub fn persist(mut self, mode: PersistMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Overrides which machine hosts the shared heap and the named-root
+    /// registry.
+    pub fn memory_node(mut self, m: MachineId) -> Self {
+        self.memory_node = Some(m);
+        self
+    }
+
+    /// Sets the named-root registry size, in entries. `0` disables the
+    /// registry (no segment cells reserved; `create_*`/`open_*` with
+    /// names will fail with [`ApiError::RegistryFull`]).
+    pub fn root_capacity(mut self, entries: u32) -> Self {
+        self.root_capacity = entries;
+        self
+    }
+
+    /// Builds the cluster: fabric, heap (with the registry carved out of
+    /// the memory node's segment at offset 0) and persistence strategy.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NoMemoryNode`] if no machine owns shared locations;
+    /// [`ApiError::RegistryTooLarge`] if the registry (plus, in buffered
+    /// mode, the epoch machinery) does not fit the segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has more than 64 machines (a fabric limit).
+    pub fn build(self) -> ApiResult<Arc<Cluster>> {
+        let memory_node = match self.memory_node {
+            Some(m) => m,
+            Option::None => self
+                .cfg
+                .machines()
+                .filter(|m| self.cfg.machine(*m).locations > 0)
+                .last()
+                .ok_or(ApiError::NoMemoryNode)?,
+        };
+        let available = self.cfg.machine(memory_node).locations;
+        if available == 0 {
+            return Err(ApiError::NoMemoryNode);
+        }
+        let registry_cells = self
+            .root_capacity
+            .checked_mul(ENTRY_CELLS)
+            .filter(|needed| *needed <= available)
+            .ok_or(ApiError::RegistryTooLarge {
+                needed: self.root_capacity.saturating_mul(ENTRY_CELLS),
+                available,
+            })?;
+
+        let fabric = SimFabric::with_options(self.cfg.clone(), self.variant, self.cost);
+        let heap = Arc::new(SharedHeap::with_range(
+            fabric.config(),
+            memory_node,
+            registry_cells,
+            available - registry_cells,
+        ));
+
+        let mut buffered = Option::None;
+        let persist: Arc<dyn Persistence> = match self.mode {
+            PersistMode::FlitCxl0 => Arc::new(FlitCxl0::default()),
+            PersistMode::OwnerOpt => Arc::new(FlitOwnerOpt::default()),
+            PersistMode::FlitX86 => Arc::new(FlitX86::default()),
+            PersistMode::FlitAsync => Arc::new(FlitAsync::default()),
+            PersistMode::NaiveMStore => Arc::new(NaiveMStore),
+            PersistMode::None => Arc::new(NoPersistence),
+            PersistMode::Buffered {
+                capacity,
+                sync_interval,
+            } => {
+                let epoch = Arc::new(BufferedEpoch::create(&heap, capacity, sync_interval).ok_or(
+                    ApiError::RegistryTooLarge {
+                        needed: registry_cells + 4 * capacity + 1,
+                        available,
+                    },
+                )?);
+                buffered = Some(Arc::clone(&epoch));
+                epoch
+            }
+        };
+
+        let registry_base = cxl0_model::Loc::new(memory_node, 0);
+        let directory = RootDirectory::new(registry_base, self.root_capacity, Arc::clone(&persist));
+
+        Ok(Arc::new(Cluster {
+            fabric,
+            heap,
+            persist,
+            buffered,
+            mode: self.mode,
+            memory_node,
+            directory,
+        }))
+    }
+}
+
+/// A fully-wired CXL0 deployment: the fabric, the memory node's shared
+/// heap, one durability strategy and the durable named-root registry.
+///
+/// Obtain per-machine contexts with [`Cluster::session`]; the low-level
+/// pieces stay reachable ([`Cluster::fabric`], [`Cluster::heap`],
+/// [`Cluster::persistence`]) for code that needs the escape hatch.
+#[derive(Debug)]
+pub struct Cluster {
+    fabric: Arc<SimFabric>,
+    heap: Arc<SharedHeap>,
+    persist: Arc<dyn Persistence>,
+    buffered: Option<Arc<BufferedEpoch>>,
+    mode: PersistMode,
+    memory_node: MachineId,
+    directory: RootDirectory,
+}
+
+impl Cluster {
+    /// Starts configuring a cluster over `cfg`.
+    pub fn builder(cfg: SystemConfig) -> ClusterBuilder {
+        ClusterBuilder::new(cfg)
+    }
+
+    /// A ready-made cluster: `compute` compute nodes plus one NVM memory
+    /// node of `cells` locations, under [`PersistMode::FlitCxl0`] — the
+    /// paper's canonical deployment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ClusterBuilder::build`] failures.
+    pub fn symmetric(compute: usize, cells: u32) -> ApiResult<Arc<Cluster>> {
+        let mut machines = vec![cxl0_model::MachineConfig::compute_only(); compute];
+        machines.push(cxl0_model::MachineConfig::non_volatile(cells));
+        Cluster::builder(SystemConfig::new(machines)).build()
+    }
+
+    /// A per-machine [`Session`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn session(self: &Arc<Self>, m: MachineId) -> Session {
+        Session::new(Arc::clone(self), self.fabric.node(m))
+    }
+
+    /// The underlying fabric (low-level escape hatch).
+    pub fn fabric(&self) -> &Arc<SimFabric> {
+        &self.fabric
+    }
+
+    /// The memory node's shared heap (low-level escape hatch).
+    pub fn heap(&self) -> &Arc<SharedHeap> {
+        &self.heap
+    }
+
+    /// The durability strategy in force.
+    pub fn persistence(&self) -> &Arc<dyn Persistence> {
+        &self.persist
+    }
+
+    /// The buffered-epoch machinery, when built with
+    /// [`PersistMode::Buffered`].
+    pub fn buffered(&self) -> Option<&Arc<BufferedEpoch>> {
+        self.buffered.as_ref()
+    }
+
+    /// The configured durability mode.
+    pub fn mode(&self) -> PersistMode {
+        self.mode
+    }
+
+    /// The machine hosting the heap and the registry.
+    pub fn memory_node(&self) -> MachineId {
+        self.memory_node
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        self.fabric.config()
+    }
+
+    /// Fabric-wide operation counters and simulated time.
+    pub fn stats(&self) -> &Stats {
+        self.fabric.stats()
+    }
+
+    /// Crashes machine `m` (stop-the-world; NVM survives, caches and
+    /// volatile memory do not).
+    pub fn crash(&self, m: MachineId) {
+        self.fabric.crash(m);
+    }
+
+    /// Recovers machine `m`: new sessions may run on it again.
+    pub fn recover(&self, m: MachineId) {
+        self.fabric.recover(m);
+    }
+
+    /// True if machine `m` is currently crashed.
+    pub fn is_crashed(&self, m: MachineId) -> bool {
+        self.fabric.is_crashed(m)
+    }
+
+    pub(crate) fn directory(&self) -> &RootDirectory {
+        &self.directory
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_reserves_registry_at_offset_zero() {
+        let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 4096))
+            .root_capacity(16)
+            .build()
+            .unwrap();
+        // The heap starts right after 16 * ENTRY_CELLS registry cells.
+        let first = cluster.heap().alloc(1).unwrap();
+        assert_eq!(first.addr.0, 16 * ENTRY_CELLS);
+        assert_eq!(first.owner, cluster.memory_node());
+    }
+
+    #[test]
+    fn memory_node_defaults_to_last_machine_with_locations() {
+        let cfg = SystemConfig::new(vec![
+            cxl0_model::MachineConfig::compute_only(),
+            cxl0_model::MachineConfig::non_volatile(512),
+            cxl0_model::MachineConfig::compute_only(),
+        ]);
+        let cluster = Cluster::builder(cfg).build().unwrap();
+        assert_eq!(cluster.memory_node(), MachineId(1));
+    }
+
+    #[test]
+    fn compute_only_topology_is_rejected() {
+        let cfg = SystemConfig::new(vec![cxl0_model::MachineConfig::compute_only()]);
+        assert_eq!(
+            Cluster::builder(cfg).build().err(),
+            Some(ApiError::NoMemoryNode)
+        );
+    }
+
+    #[test]
+    fn oversized_registry_is_rejected() {
+        let err = Cluster::builder(SystemConfig::symmetric_nvm(2, 64))
+            .root_capacity(64)
+            .build()
+            .err();
+        assert!(matches!(err, Some(ApiError::RegistryTooLarge { .. })));
+    }
+
+    #[test]
+    fn mode_names_match_strategy_names() {
+        for mode in PersistMode::comparison_set() {
+            let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 4096))
+                .persist(mode)
+                .build()
+                .unwrap();
+            assert_eq!(cluster.persistence().name(), mode.name());
+        }
+        let buffered = Cluster::builder(SystemConfig::symmetric_nvm(2, 4096))
+            .persist(PersistMode::Buffered {
+                capacity: 32,
+                sync_interval: 0,
+            })
+            .build()
+            .unwrap();
+        assert!(buffered.buffered().is_some());
+        assert_eq!(buffered.mode().name(), "buffered");
+    }
+}

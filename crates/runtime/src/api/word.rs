@@ -1,0 +1,178 @@
+//! The [`Word`] trait: typed values over the fabric's 64-bit cells.
+//!
+//! Every shared location holds one `u64`; the durable data structures are
+//! generic over any value type that round-trips through that cell width.
+//! The trait also carries a compile-time *type fingerprint* ([`Word::TAG`])
+//! that the named-root registry records on `create_*` and verifies on
+//! `open_*`, so reattaching a durable structure under the wrong element
+//! type is an error instead of silent reinterpretation.
+
+/// A value type storable in one 64-bit fabric cell.
+///
+/// Implementations must round-trip: `from_word(v.to_word()) == v` for
+/// every `v`. Structures with zero-sentinels ([`DurableMap`] keys/values,
+/// [`DurableList`] keys) additionally require the *encoded* word to be
+/// non-zero — e.g. `false` encodes to `0` and is not a valid map value.
+///
+/// Use [`durable_word!`](crate::durable_word) to derive an implementation
+/// for a `u64`-family newtype.
+///
+/// [`DurableMap`]: crate::ds::DurableMap
+/// [`DurableList`]: crate::ds::DurableList
+pub trait Word: Copy + std::fmt::Debug + Send + Sync + 'static {
+    /// Type fingerprint recorded in the named-root registry. Two types
+    /// that encode values differently must have different tags; derive it
+    /// from the type name with [`word_type_tag`].
+    const TAG: u64;
+
+    /// Encodes the value into a cell word.
+    fn to_word(self) -> u64;
+
+    /// Decodes a cell word written by [`Word::to_word`].
+    fn from_word(w: u64) -> Self;
+}
+
+/// FNV-1a fingerprint of a type name, usable in `const` contexts — the
+/// conventional way to produce [`Word::TAG`].
+pub const fn word_type_tag(name: &str) -> u64 {
+    let bytes = name.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        i += 1;
+    }
+    hash
+}
+
+macro_rules! impl_word_unsigned {
+    ($($t:ty),*) => {$(
+        impl Word for $t {
+            const TAG: u64 = word_type_tag(stringify!($t));
+            fn to_word(self) -> u64 {
+                self as u64
+            }
+            fn from_word(w: u64) -> Self {
+                w as $t
+            }
+        }
+    )*};
+}
+impl_word_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_word_signed {
+    ($($t:ty as $u:ty),*) => {$(
+        impl Word for $t {
+            const TAG: u64 = word_type_tag(stringify!($t));
+            fn to_word(self) -> u64 {
+                // Bit pattern via the same-width unsigned type: no sign
+                // extension surprises for negatives.
+                self as $u as u64
+            }
+            fn from_word(w: u64) -> Self {
+                w as $u as $t
+            }
+        }
+    )*};
+}
+impl_word_signed!(i8 as u8, i16 as u16, i32 as u32, i64 as u64, isize as usize);
+
+impl Word for bool {
+    const TAG: u64 = word_type_tag("bool");
+    fn to_word(self) -> u64 {
+        u64::from(self)
+    }
+    fn from_word(w: u64) -> Self {
+        w != 0
+    }
+}
+
+impl Word for char {
+    const TAG: u64 = word_type_tag("char");
+    fn to_word(self) -> u64 {
+        u64::from(u32::from(self))
+    }
+    fn from_word(w: u64) -> Self {
+        char::from_u32(w as u32).unwrap_or('\u{FFFD}')
+    }
+}
+
+/// Implements [`Word`] for a single-field tuple newtype whose inner type
+/// already implements it, giving the newtype its own registry fingerprint:
+///
+/// ```
+/// use cxl0_runtime::durable_word;
+///
+/// #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// pub struct JobId(pub u64);
+/// durable_word!(JobId(u64));
+///
+/// use cxl0_runtime::api::Word;
+/// assert_eq!(JobId::from_word(JobId(7).to_word()), JobId(7));
+/// assert_ne!(JobId::TAG, u64::TAG); // distinct fingerprint
+/// ```
+#[macro_export]
+macro_rules! durable_word {
+    ($name:ident($inner:ty)) => {
+        impl $crate::api::Word for $name {
+            const TAG: u64 = $crate::api::word_type_tag(stringify!($name));
+            fn to_word(self) -> u64 {
+                <$inner as $crate::api::Word>::to_word(self.0)
+            }
+            fn from_word(w: u64) -> Self {
+                $name(<$inner as $crate::api::Word>::from_word(w))
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        assert_eq!(u64::from_word(u64::MAX.to_word()), u64::MAX);
+        assert_eq!(u32::from_word(7u32.to_word()), 7);
+        assert_eq!(i64::from_word((-3i64).to_word()), -3);
+        assert_eq!(i32::from_word((-1i32).to_word()), -1);
+        assert!(bool::from_word(true.to_word()));
+        assert!(!bool::from_word(false.to_word()));
+        assert_eq!(char::from_word('λ'.to_word()), 'λ');
+    }
+
+    #[test]
+    fn negative_small_ints_do_not_sign_extend() {
+        // -1i32 must occupy only the low 32 bits of the cell.
+        assert_eq!((-1i32).to_word(), u64::from(u32::MAX));
+    }
+
+    #[test]
+    fn tags_distinguish_types() {
+        let tags = [
+            u8::TAG,
+            u16::TAG,
+            u32::TAG,
+            u64::TAG,
+            i64::TAG,
+            bool::TAG,
+            char::TAG,
+        ];
+        for (i, a) in tags.iter().enumerate() {
+            for b in &tags[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Offset(i64);
+    durable_word!(Offset(i64));
+
+    #[test]
+    fn newtype_macro_round_trips_with_distinct_tag() {
+        assert_eq!(Offset::from_word(Offset(-9).to_word()), Offset(-9));
+        assert_ne!(Offset::TAG, i64::TAG);
+    }
+}

@@ -406,6 +406,28 @@ fn pick_bit(mask: u64, rng: &mut StdRng) -> u32 {
     m.trailing_zeros()
 }
 
+/// Anything that can issue operations as a machine: a raw [`NodeHandle`]
+/// or a higher-level context wrapping one (the `api` module's `Session`).
+///
+/// The durable data structures accept `&impl AsNode`, so the same
+/// structure code works against both layers of the crate.
+pub trait AsNode {
+    /// The underlying per-machine handle.
+    fn as_node(&self) -> &NodeHandle;
+}
+
+impl AsNode for NodeHandle {
+    fn as_node(&self) -> &NodeHandle {
+        self
+    }
+}
+
+impl<T: AsNode + ?Sized> AsNode for &T {
+    fn as_node(&self) -> &NodeHandle {
+        (**self).as_node()
+    }
+}
+
 /// A per-machine handle: the operations a thread running on that machine
 /// may issue. Cloning is cheap (an `Arc` bump).
 #[derive(Debug, Clone)]

@@ -4,7 +4,7 @@ use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
@@ -14,17 +14,15 @@ use crate::heap::SharedHeap;
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableCounter, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
-/// let heap = SharedHeap::new(fabric.config(), MachineId(1));
-/// let ctr = DurableCounter::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
-/// assert_eq!(ctr.add(&node, 5)?, 0);
-/// assert_eq!(ctr.get(&node)?, 5);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let ctr = session.create_counter("requests")?;
+/// assert_eq!(ctr.add(&session, 5)?, 0);
+/// assert_eq!(ctr.get(&session)?, 5);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
 pub struct DurableCounter {
@@ -56,7 +54,8 @@ impl DurableCounter {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn add(&self, node: &NodeHandle, delta: u64) -> OpResult<u64> {
+    pub fn add(&self, at: &impl AsNode, delta: u64) -> OpResult<u64> {
+        let node = at.as_node();
         let old = self.persist.shared_faa(node, self.cell, delta, true)?;
         self.persist.complete_op(node)?;
         Ok(old)
@@ -67,7 +66,8 @@ impl DurableCounter {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn get(&self, node: &NodeHandle) -> OpResult<u64> {
+    pub fn get(&self, at: &impl AsNode) -> OpResult<u64> {
+        let node = at.as_node();
         let v = self.persist.shared_load(node, self.cell, true)?;
         self.persist.complete_op(node)?;
         Ok(v)

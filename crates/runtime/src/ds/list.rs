@@ -7,11 +7,13 @@
 //! Node layout: `[key, next]`; the `next` cell packs `(pointer, mark)`.
 //! Keys must be non-zero and below `2^63` (the mark bit).
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
@@ -26,35 +28,36 @@ fn unmark(raw: u64) -> u64 {
     raw & !MARK
 }
 
-/// A durable sorted set of `u64` keys.
+/// A durable sorted set of [`Word`] keys (default `u64`), ordered by
+/// their encoded word. Keys must encode non-zero and below `2^63` (the
+/// mark bit).
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableList, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
-/// let list = DurableList::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
-/// assert!(list.insert(&node, 5)?);
-/// assert!(!list.insert(&node, 5)?); // already present
-/// assert!(list.contains(&node, 5)?);
-/// assert!(list.remove(&node, 5)?);
-/// assert!(!list.contains(&node, 5)?);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let list = session.create_list::<u64>("members")?;
+/// assert!(list.insert(&session, 5)?);
+/// assert!(!list.insert(&session, 5)?); // already present
+/// assert!(list.contains(&session, 5)?);
+/// assert!(list.remove(&session, 5)?);
+/// assert!(!list.contains(&session, 5)?);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableList {
+pub struct DurableList<K: Word = u64> {
     /// The head pointer cell (encoded pointer to the first node, or 0).
     head: Loc,
     heap: Arc<SharedHeap>,
     persist: Arc<dyn Persistence>,
+    _keys: PhantomData<K>,
 }
 
-impl DurableList {
+impl<K: Word> DurableList<K> {
     /// Allocates an empty list (one head cell); `None` if the heap is
     /// exhausted.
     pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
@@ -63,6 +66,7 @@ impl DurableList {
             head,
             heap: Arc::clone(heap),
             persist,
+            _keys: PhantomData,
         })
     }
 
@@ -72,6 +76,7 @@ impl DurableList {
             head,
             heap,
             persist,
+            _keys: PhantomData,
         }
     }
 
@@ -134,7 +139,9 @@ impl DurableList {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn insert(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+    pub fn insert(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
+        let node = at.as_node();
+        let key = key.to_word();
         assert!(key != 0 && key & MARK == 0, "key out of range");
         loop {
             let (pred_cell, curr_enc, found) = self.search(node, key)?;
@@ -164,7 +171,9 @@ impl DurableList {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn remove(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+    pub fn remove(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
+        let node = at.as_node();
+        let key = key.to_word();
         loop {
             let (pred_cell, curr_enc, found) = self.search(node, key)?;
             if found != Some(key) {
@@ -199,7 +208,9 @@ impl DurableList {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn contains(&self, node: &NodeHandle, key: u64) -> OpResult<bool> {
+    pub fn contains(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
+        let node = at.as_node();
+        let key = key.to_word();
         let (_, curr_enc, found) = self.search(node, key)?;
         let _ = curr_enc;
         self.persist.complete_op(node)?;
@@ -211,14 +222,19 @@ impl DurableList {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn keys(&self, node: &NodeHandle) -> OpResult<Vec<u64>> {
+    pub fn keys(&self, at: &impl AsNode) -> OpResult<Vec<K>> {
+        let node = at.as_node();
         let mut out = Vec::new();
         let mut curr_enc = unmark(self.persist.shared_load(node, self.head, true)?);
         while curr_enc != NULL_PTR {
             let curr = decode_ptr(self.heap.region(), curr_enc).expect("non-null");
             let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
             if !is_marked(next_raw) {
-                out.push(self.persist.shared_load(node, self.key_cell(curr), true)?);
+                out.push(K::from_word(self.persist.shared_load(
+                    node,
+                    self.key_cell(curr),
+                    true,
+                )?));
             }
             curr_enc = unmark(next_raw);
         }

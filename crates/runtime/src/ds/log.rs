@@ -15,76 +15,97 @@
 //! with a junk marker, Corfu-style, so readers distinguish "never written"
 //! from "crashed writer" and the durable prefix is well defined.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
 
 /// What a log slot holds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SlotState {
+pub enum SlotState<T: Word = u64> {
     /// No (durable) write has reached the slot.
     Empty,
     /// A crashed writer's slot, sealed by recovery.
     Junk,
     /// A committed payload.
-    Value(u64),
+    Value(T),
 }
 
 const JUNK: u64 = u64::MAX;
 
-/// An append-only durable shared log with `capacity` slots.
+/// An append-only durable shared log of [`Word`] payloads (default
+/// `u64`) with `capacity` slots.
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, FlitCxl0};
-/// use cxl0_runtime::ds::log::{DurableLog, SlotState};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_runtime::SlotState;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 128));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
-/// let log = DurableLog::create(&heap, 16, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let log = session.create_log::<u64>("events", 16)?;
 ///
-/// let i = log.append(&node, 42)?.expect("log has room");
-/// assert_eq!(log.read(&node, i)?, SlotState::Value(42));
+/// let i = log.append(&session, 42)?.expect("log has room");
+/// assert_eq!(log.read(&session, i)?, SlotState::Value(42));
 ///
-/// // The append survives a crash of the memory node (FliT + NVM).
-/// fabric.crash(MachineId(2));
-/// fabric.recover(MachineId(2));
-/// log.recover(&node)?;
-/// assert_eq!(log.read(&node, i)?, SlotState::Value(42));
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// // The append survives a crash of the memory node (FliT + NVM);
+/// // reattach by name.
+/// cluster.crash(cluster.memory_node());
+/// cluster.recover(cluster.memory_node());
+/// let log = session.open_log::<u64>("events")?;
+/// log.recover(&session)?;
+/// assert_eq!(log.read(&session, i)?, SlotState::Value(42));
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableLog {
-    /// Tail reservation counter.
+pub struct DurableLog<T: Word = u64> {
+    /// Tail reservation counter; the `capacity` slot cells follow it
+    /// contiguously.
     tail: Loc,
-    /// First slot cell; slots are contiguous.
+    /// First slot cell (`tail + 1`).
     slots: Loc,
     capacity: u32,
     persist: Arc<dyn Persistence>,
+    _values: PhantomData<T>,
 }
 
-impl DurableLog {
+impl<T: Word> DurableLog<T> {
     /// Allocates a log with `capacity` slots from `heap`.
     ///
     /// Returns `None` if the heap cannot fit `capacity + 1` cells.
     pub fn create(heap: &SharedHeap, capacity: u32, persist: Arc<dyn Persistence>) -> Option<Self> {
-        let tail = heap.alloc(1)?;
-        let slots = heap.alloc(capacity)?;
+        // One allocation keeps tail + slots contiguous even under
+        // concurrent allocators, so the log reattaches from its tail cell
+        // alone (see [`DurableLog::attach`]).
+        let tail = heap.alloc(capacity.checked_add(1)?)?;
         Some(DurableLog {
             tail,
-            slots,
+            slots: Loc::new(tail.owner, tail.addr.0 + 1),
             capacity,
             persist,
+            _values: PhantomData,
         })
+    }
+
+    /// Attaches to an existing log after recovery: `tail` is the cell
+    /// [`DurableLog::tail_cell`] reported at creation, `capacity` the
+    /// original slot count.
+    pub fn attach(tail: Loc, capacity: u32, persist: Arc<dyn Persistence>) -> Self {
+        DurableLog {
+            tail,
+            slots: Loc::new(tail.owner, tail.addr.0 + 1),
+            capacity,
+            persist,
+            _values: PhantomData,
+        }
     }
 
     /// Maximum number of entries.
@@ -114,15 +135,20 @@ impl DurableLog {
     ///
     /// # Panics
     ///
-    /// Panics if `value == u64::MAX - 1` (reserved for the junk marker)
-    /// — encode payloads below that.
+    /// Panics if the payload encodes to `u64::MAX - 1` or above (reserved
+    /// for the junk marker) — encode payloads below that.
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed; the reserved slot, if
     /// any, becomes a hole that [`DurableLog::recover`] seals.
-    pub fn append(&self, node: &NodeHandle, value: u64) -> OpResult<Option<u64>> {
-        assert!(value + 1 != JUNK, "payload collides with the junk marker");
+    pub fn append(&self, at: &impl AsNode, value: T) -> OpResult<Option<u64>> {
+        let node = at.as_node();
+        let value = value.to_word();
+        assert!(
+            value < u64::MAX - 1,
+            "encoded payload collides with the junk marker"
+        );
         // Reserve: the FAA is flagged persistent so the reservation frontier
         // itself is durable (readers after a crash see how far reservations
         // went, bounding the hole-sealing scan).
@@ -142,13 +168,14 @@ impl DurableLog {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn read(&self, node: &NodeHandle, i: u64) -> OpResult<SlotState> {
+    pub fn read(&self, at: &impl AsNode, i: u64) -> OpResult<SlotState<T>> {
+        let node = at.as_node();
         let raw = self.persist.shared_load(node, self.slot(i), true)?;
         self.persist.complete_op(node)?;
         Ok(match raw {
             0 => SlotState::Empty,
             JUNK => SlotState::Junk,
-            v => SlotState::Value(v - 1),
+            v => SlotState::Value(T::from_word(v - 1)),
         })
     }
 
@@ -158,7 +185,8 @@ impl DurableLog {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn frontier(&self, node: &NodeHandle) -> OpResult<u64> {
+    pub fn frontier(&self, at: &impl AsNode) -> OpResult<u64> {
+        let node = at.as_node();
         let t = self.persist.shared_load(node, self.tail, true)?;
         self.persist.complete_op(node)?;
         Ok(t.min(u64::from(self.capacity)))
@@ -172,7 +200,8 @@ impl DurableLog {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn recover(&self, node: &NodeHandle) -> OpResult<(u64, u64)> {
+    pub fn recover(&self, at: &impl AsNode) -> OpResult<(u64, u64)> {
+        let node = at.as_node();
         let frontier = self.frontier(node)?;
         let mut committed = 0;
         let mut sealed = 0;
@@ -195,7 +224,8 @@ impl DurableLog {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn scan(&self, node: &NodeHandle) -> OpResult<Vec<(u64, u64)>> {
+    pub fn scan(&self, at: &impl AsNode) -> OpResult<Vec<(u64, T)>> {
+        let node = at.as_node();
         let frontier = self.frontier(node)?;
         let mut out = Vec::new();
         for i in 0..frontier {

@@ -11,11 +11,13 @@
 //! non-zero; capacity is fixed at creation; removals do not free slots
 //! (the key stays claimed for future re-inserts).
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
@@ -25,34 +27,34 @@ const EMPTY_KEY: u64 = 0;
 /// Value sentinel for "no binding".
 const ABSENT: u64 = 0;
 
-/// A durable lock-free hash map from non-zero `u64` keys to non-zero
-/// `u64` values.
+/// A durable lock-free hash map over [`Word`] keys and values (default
+/// `u64`). Keys and values must *encode* to non-zero words (the
+/// sentinels).
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableMap, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
-/// let map = DurableMap::create(&heap, 64, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
-/// assert_eq!(map.insert(&node, 5, 50)?, Some(None));
-/// assert_eq!(map.get(&node, 5)?, Some(50));
-/// assert_eq!(map.remove(&node, 5)?, Some(50));
-/// assert_eq!(map.get(&node, 5)?, None);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let map = session.create_map::<u64, u64>("index", 64)?;
+/// assert_eq!(map.insert(&session, 5, 50)?, Some(None));
+/// assert_eq!(map.get(&session, 5)?, Some(50));
+/// assert_eq!(map.remove(&session, 5)?, Some(50));
+/// assert_eq!(map.get(&session, 5)?, None);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableMap {
+pub struct DurableMap<K: Word = u64, V: Word = u64> {
     base: Loc,
     capacity: u32,
     persist: Arc<dyn Persistence>,
+    _entries: PhantomData<(K, V)>,
 }
 
-impl DurableMap {
+impl<K: Word, V: Word> DurableMap<K, V> {
     /// Allocates a map with `capacity` slots (rounded up to a power of
     /// two) from `heap`; `None` if the heap is exhausted.
     ///
@@ -71,6 +73,7 @@ impl DurableMap {
             base,
             capacity,
             persist,
+            _entries: PhantomData,
         })
     }
 
@@ -80,6 +83,7 @@ impl DurableMap {
             base,
             capacity: capacity.next_power_of_two(),
             persist,
+            _entries: PhantomData,
         }
     }
 
@@ -139,7 +143,10 @@ impl DurableMap {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn insert(&self, node: &NodeHandle, key: u64, value: u64) -> OpResult<Option<Option<u64>>> {
+    pub fn insert(&self, at: &impl AsNode, key: K, value: V) -> OpResult<Option<Option<V>>> {
+        let node = at.as_node();
+        let key = key.to_word();
+        let value = value.to_word();
         assert_ne!(key, EMPTY_KEY, "key 0 is reserved");
         assert_ne!(value, ABSENT, "value 0 is reserved");
         let Some(slot) = self.find_slot(node, key, true)? else {
@@ -156,7 +163,11 @@ impl DurableMap {
                 .is_ok()
             {
                 self.persist.complete_op(node)?;
-                return Ok(Some(if old == ABSENT { None } else { Some(old) }));
+                return Ok(Some(if old == ABSENT {
+                    None
+                } else {
+                    Some(V::from_word(old))
+                }));
             }
         }
     }
@@ -166,7 +177,9 @@ impl DurableMap {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn get(&self, node: &NodeHandle, key: u64) -> OpResult<Option<u64>> {
+    pub fn get(&self, at: &impl AsNode, key: K) -> OpResult<Option<V>> {
+        let node = at.as_node();
+        let key = key.to_word();
         let Some(slot) = self.find_slot(node, key, false)? else {
             self.persist.complete_op(node)?;
             return Ok(None);
@@ -175,7 +188,11 @@ impl DurableMap {
             .persist
             .shared_load(node, self.value_cell(slot), true)?;
         self.persist.complete_op(node)?;
-        Ok(if v == ABSENT { None } else { Some(v) })
+        Ok(if v == ABSENT {
+            None
+        } else {
+            Some(V::from_word(v))
+        })
     }
 
     /// Removes `key`, returning the removed binding.
@@ -183,7 +200,9 @@ impl DurableMap {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn remove(&self, node: &NodeHandle, key: u64) -> OpResult<Option<u64>> {
+    pub fn remove(&self, at: &impl AsNode, key: K) -> OpResult<Option<V>> {
+        let node = at.as_node();
+        let key = key.to_word();
         let Some(slot) = self.find_slot(node, key, false)? else {
             self.persist.complete_op(node)?;
             return Ok(None);
@@ -202,7 +221,7 @@ impl DurableMap {
                 .is_ok()
             {
                 self.persist.complete_op(node)?;
-                return Ok(Some(old));
+                return Ok(Some(V::from_word(old)));
             }
         }
     }

@@ -7,6 +7,13 @@
 //! All structures are non-blocking (CAS-based), as FliT assumes for
 //! liveness, and never recycle nodes (no ABA; persistent memory
 //! reclamation is out of scope, as in the original FliT work).
+//!
+//! Element types are generic over [`Word`](crate::api::Word) (default
+//! `u64`), and every operation takes `&impl AsNode` — a raw
+//! [`NodeHandle`](crate::backend::NodeHandle) or an
+//! [`api::Session`](crate::api::Session) — so the same structures serve
+//! both API layers. Named creation/reattachment lives on the session
+//! (`create_queue`/`open_queue` and friends).
 
 pub mod counter;
 pub mod list;

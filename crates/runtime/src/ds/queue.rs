@@ -5,45 +5,45 @@
 //! every operation helps advance it, and [`DurableQueue::recover`]
 //! performs the same helping after a crash.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 
-/// A durable lock-free FIFO queue of `u64` values.
+/// A durable lock-free FIFO queue of [`Word`] values (default `u64`).
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableQueue, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 64));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
-/// let q = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
-/// q.init(&node)?;
-/// q.enqueue(&node, 1)?;
-/// q.enqueue(&node, 2)?;
-/// assert_eq!(q.dequeue(&node)?, Some(1));
-/// assert_eq!(q.dequeue(&node)?, Some(2));
-/// assert_eq!(q.dequeue(&node)?, None);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let q = session.create_queue::<u64>("jobs")?;
+/// q.enqueue(&session, 1)?;
+/// q.enqueue(&session, 2)?;
+/// assert_eq!(q.dequeue(&session)?, Some(1));
+/// assert_eq!(q.dequeue(&session)?, Some(2));
+/// assert_eq!(q.dequeue(&session)?, None);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableQueue {
+pub struct DurableQueue<T: Word = u64> {
     /// Header: `head` at `header`, `tail` at `header+1`.
     header: Loc,
     heap: Arc<SharedHeap>,
     persist: Arc<dyn Persistence>,
+    _values: PhantomData<T>,
 }
 
-impl DurableQueue {
+impl<T: Word> DurableQueue<T> {
     /// Allocates an empty queue (header + dummy node) from `heap`; `None`
     /// if the heap is exhausted.
     ///
@@ -58,16 +58,18 @@ impl DurableQueue {
             header,
             heap: Arc::clone(heap),
             persist,
+            _values: PhantomData,
         })
     }
 
-    /// Initializes the header and dummy node through `node`. Must be
+    /// Initializes the header and dummy node through `at`. Must be
     /// called exactly once, before any other operation.
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn init(&self, node: &NodeHandle) -> OpResult<()> {
+    pub fn init(&self, at: &impl AsNode) -> OpResult<()> {
+        let node = at.as_node();
         // The dummy node is the two cells allocated right after the header.
         let dummy = Loc::new(self.header.owner, self.header.addr.0 + 2);
         self.persist
@@ -87,6 +89,7 @@ impl DurableQueue {
             header,
             heap,
             persist,
+            _values: PhantomData,
         }
     }
 
@@ -117,12 +120,14 @@ impl DurableQueue {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn enqueue(&self, node: &NodeHandle, v: u64) -> OpResult<bool> {
+    pub fn enqueue(&self, at: &impl AsNode, v: T) -> OpResult<bool> {
+        let node = at.as_node();
+        let raw = v.to_word();
         let Some(n) = self.heap.alloc(2) else {
             return Ok(false);
         };
         self.persist
-            .private_store(node, self.value_cell(n), v, true)?;
+            .private_store(node, self.value_cell(n), raw, true)?;
         self.persist
             .private_store(node, self.next_cell(n), NULL_PTR, true)?;
         loop {
@@ -165,7 +170,8 @@ impl DurableQueue {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn dequeue(&self, node: &NodeHandle) -> OpResult<Option<u64>> {
+    pub fn dequeue(&self, at: &impl AsNode) -> OpResult<Option<T>> {
+        let node = at.as_node();
         loop {
             let head = self.persist.shared_load(node, self.head_cell(), true)?;
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
@@ -189,7 +195,7 @@ impl DurableQueue {
                 {
                     Ok(_) => {
                         self.persist.complete_op(node)?;
-                        return Ok(Some(v));
+                        return Ok(Some(T::from_word(v)));
                     }
                     Err(_) => continue,
                 }
@@ -204,7 +210,8 @@ impl DurableQueue {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn recover(&self, node: &NodeHandle) -> OpResult<()> {
+    pub fn recover(&self, at: &impl AsNode) -> OpResult<()> {
+        let node = at.as_node();
         loop {
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
             let t = decode_ptr(self.heap.region(), tail).expect("tail is never null");
@@ -223,9 +230,9 @@ impl DurableQueue {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn drain(&self, node: &NodeHandle) -> OpResult<Vec<u64>> {
+    pub fn drain(&self, at: &impl AsNode) -> OpResult<Vec<T>> {
         let mut out = Vec::new();
-        while let Some(v) = self.dequeue(node)? {
+        while let Some(v) = self.dequeue(at)? {
             out.push(v);
         }
         Ok(out)
@@ -256,6 +263,19 @@ mod tests {
         }
         assert_eq!(q.drain(&node).unwrap(), vec![1, 2, 3, 4, 5]);
         assert_eq!(q.dequeue(&node).unwrap(), None);
+    }
+
+    #[test]
+    fn typed_queue_round_trips_signed_values() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 1024));
+        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(1)));
+        let q: DurableQueue<i64> =
+            DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        let node = f.node(MachineId(0));
+        q.init(&node).unwrap();
+        q.enqueue(&node, -7).unwrap();
+        q.enqueue(&node, i64::MIN).unwrap();
+        assert_eq!(q.drain(&node).unwrap(), vec![-7, i64::MIN]);
     }
 
     #[test]

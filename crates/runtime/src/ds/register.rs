@@ -1,45 +1,47 @@
 //! A durable atomic register: the simplest FliT-transformed object.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
 
-/// A durable 64-bit register living in one shared cell.
+/// A durable register of one [`Word`] value (default `u64`), living in
+/// one shared cell.
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableRegister, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
-/// let heap = SharedHeap::new(fabric.config(), MachineId(1));
-/// let reg = DurableRegister::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let reg = session.create_register::<i64>("balance")?;
+/// reg.write(&session, -7)?;
+/// assert_eq!(reg.read(&session)?, -7);
 ///
-/// let node = fabric.node(MachineId(0));
-/// reg.write(&node, 7)?;
-/// assert_eq!(reg.read(&node)?, 7);
-///
-/// // The write survives a crash of the writer *and* of the memory node
-/// // (NVM): durable linearizability.
-/// fabric.crash(MachineId(1));
-/// fabric.recover(MachineId(1));
-/// assert_eq!(reg.read(&node)?, 7);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// // The write survives a crash of the memory node (NVM): durable
+/// // linearizability. Reattach by name, no header Loc threading.
+/// cluster.crash(cluster.memory_node());
+/// cluster.recover(cluster.memory_node());
+/// let reg = session.open_register::<i64>("balance")?;
+/// assert_eq!(reg.read(&session)?, -7);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableRegister {
+pub struct DurableRegister<T: Word = u64> {
     cell: Loc,
     persist: Arc<dyn Persistence>,
+    _values: PhantomData<T>,
 }
 
-impl DurableRegister {
+impl<T: Word> DurableRegister<T> {
     /// Allocates a register from `heap`.
     ///
     /// Returns `None` if the heap is exhausted.
@@ -47,12 +49,17 @@ impl DurableRegister {
         Some(DurableRegister {
             cell: heap.alloc(1)?,
             persist,
+            _values: PhantomData,
         })
     }
 
     /// Attaches to an existing register cell (e.g. after recovery).
     pub fn attach(cell: Loc, persist: Arc<dyn Persistence>) -> Self {
-        DurableRegister { cell, persist }
+        DurableRegister {
+            cell,
+            persist,
+            _values: PhantomData,
+        }
     }
 
     /// The backing cell.
@@ -65,10 +72,11 @@ impl DurableRegister {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn read(&self, node: &NodeHandle) -> OpResult<u64> {
+    pub fn read(&self, at: &impl AsNode) -> OpResult<T> {
+        let node = at.as_node();
         let v = self.persist.shared_load(node, self.cell, true)?;
         self.persist.complete_op(node)?;
-        Ok(v)
+        Ok(T::from_word(v))
     }
 
     /// Writes the register.
@@ -76,8 +84,10 @@ impl DurableRegister {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn write(&self, node: &NodeHandle, v: u64) -> OpResult<()> {
-        self.persist.shared_store(node, self.cell, v, true)?;
+    pub fn write(&self, at: &impl AsNode, v: T) -> OpResult<()> {
+        let node = at.as_node();
+        self.persist
+            .shared_store(node, self.cell, v.to_word(), true)?;
         self.persist.complete_op(node)
     }
 
@@ -86,10 +96,13 @@ impl DurableRegister {
     /// # Errors
     ///
     /// Fails with `Crashed` if the issuing machine has crashed.
-    pub fn cas(&self, node: &NodeHandle, old: u64, new: u64) -> OpResult<Result<u64, u64>> {
-        let r = self.persist.shared_cas(node, self.cell, old, new, true)?;
+    pub fn cas(&self, at: &impl AsNode, old: T, new: T) -> OpResult<Result<T, T>> {
+        let node = at.as_node();
+        let r = self
+            .persist
+            .shared_cas(node, self.cell, old.to_word(), new.to_word(), true)?;
         self.persist.complete_op(node)?;
-        Ok(r)
+        Ok(r.map(T::from_word).map_err(T::from_word))
     }
 }
 
@@ -160,7 +173,8 @@ mod tests {
         let (f, reg) = setup(Arc::new(FlitCxl0::default()));
         let node = f.node(MachineId(0));
         reg.write(&node, 42).unwrap();
-        let reg2 = DurableRegister::attach(reg.cell(), Arc::new(FlitCxl0::default()));
+        let reg2: DurableRegister =
+            DurableRegister::attach(reg.cell(), Arc::new(FlitCxl0::default()));
         assert_eq!(reg2.read(&node).unwrap(), 42);
     }
 }

@@ -5,43 +5,44 @@
 //! persistence flag makes them durable *before* publication, as FliT
 //! requires), then published with `shared_cas` on the `top` pointer.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::backend::NodeHandle;
+use crate::api::Word;
+use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
 use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 
-/// A durable lock-free LIFO stack of `u64` values.
+/// A durable lock-free LIFO stack of [`Word`] values (default `u64`).
 ///
 /// # Examples
 ///
 /// ```
-/// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableStack, FlitCxl0};
-/// use cxl0_model::{SystemConfig, MachineId};
+/// use cxl0_runtime::api::Cluster;
+/// use cxl0_model::MachineId;
 ///
-/// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 64));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(1)));
-/// let stack = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-/// let node = fabric.node(MachineId(0));
-/// stack.push(&node, 1)?;
-/// stack.push(&node, 2)?;
-/// assert_eq!(stack.pop(&node)?, Some(2));
-/// assert_eq!(stack.pop(&node)?, Some(1));
-/// assert_eq!(stack.pop(&node)?, None);
-/// # Ok::<(), cxl0_runtime::Crashed>(())
+/// let cluster = Cluster::symmetric(2, 4096)?;
+/// let session = cluster.session(MachineId(0));
+/// let stack = session.create_stack::<u64>("undo")?;
+/// stack.push(&session, 1)?;
+/// stack.push(&session, 2)?;
+/// assert_eq!(stack.pop(&session)?, Some(2));
+/// assert_eq!(stack.pop(&session)?, Some(1));
+/// assert_eq!(stack.pop(&session)?, None);
+/// # Ok::<(), cxl0_runtime::api::ApiError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct DurableStack {
+pub struct DurableStack<T: Word = u64> {
     top: Loc,
     heap: Arc<SharedHeap>,
     persist: Arc<dyn Persistence>,
+    _values: PhantomData<T>,
 }
 
-impl DurableStack {
+impl<T: Word> DurableStack<T> {
     /// Allocates an empty stack (one `top` cell) from `heap`; `None` if
     /// the heap is exhausted.
     pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
@@ -50,13 +51,19 @@ impl DurableStack {
             top,
             heap: Arc::clone(heap),
             persist,
+            _values: PhantomData,
         })
     }
 
     /// Attaches to an existing stack after recovery: the `top` cell and
     /// the node heap region are all the state there is.
     pub fn attach(top: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
-        DurableStack { top, heap, persist }
+        DurableStack {
+            top,
+            heap,
+            persist,
+            _values: PhantomData,
+        }
     }
 
     /// The `top` pointer cell (for re-attachment).
@@ -78,13 +85,15 @@ impl DurableStack {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn push(&self, node: &NodeHandle, v: u64) -> OpResult<bool> {
+    pub fn push(&self, at: &impl AsNode, v: T) -> OpResult<bool> {
+        let node = at.as_node();
+        let raw = v.to_word();
         let Some(n) = self.heap.alloc(2) else {
             return Ok(false);
         };
         // Initialize privately; persist before publication.
         self.persist
-            .private_store(node, self.value_cell(n), v, true)?;
+            .private_store(node, self.value_cell(n), raw, true)?;
         loop {
             let top = self.persist.shared_load(node, self.top, true)?;
             self.persist
@@ -107,7 +116,8 @@ impl DurableStack {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn pop(&self, node: &NodeHandle) -> OpResult<Option<u64>> {
+    pub fn pop(&self, at: &impl AsNode) -> OpResult<Option<T>> {
+        let node = at.as_node();
         loop {
             let top = self.persist.shared_load(node, self.top, true)?;
             let Some(t) = decode_ptr(self.heap.region(), top) else {
@@ -119,7 +129,7 @@ impl DurableStack {
             match self.persist.shared_cas(node, self.top, top, next, true)? {
                 Ok(_) => {
                     self.persist.complete_op(node)?;
-                    return Ok(Some(v));
+                    return Ok(Some(T::from_word(v)));
                 }
                 Err(_) => continue,
             }
@@ -132,9 +142,9 @@ impl DurableStack {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn drain(&self, node: &NodeHandle) -> OpResult<Vec<u64>> {
+    pub fn drain(&self, at: &impl AsNode) -> OpResult<Vec<T>> {
         let mut out = Vec::new();
-        while let Some(v) = self.pop(node)? {
+        while let Some(v) = self.pop(at)? {
             out.push(v);
         }
         Ok(out)
@@ -145,7 +155,8 @@ impl DurableStack {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn len(&self, node: &NodeHandle) -> OpResult<usize> {
+    pub fn len(&self, at: &impl AsNode) -> OpResult<usize> {
+        let node = at.as_node();
         let mut n = 0;
         let mut cur = self.persist.shared_load(node, self.top, true)?;
         while cur != NULL_PTR {
@@ -161,8 +172,8 @@ impl DurableStack {
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn is_empty(&self, node: &NodeHandle) -> OpResult<bool> {
-        Ok(self.persist.shared_load(node, self.top, true)? == NULL_PTR)
+    pub fn is_empty(&self, at: &impl AsNode) -> OpResult<bool> {
+        Ok(self.persist.shared_load(at.as_node(), self.top, true)? == NULL_PTR)
     }
 }
 

@@ -6,7 +6,9 @@
 //! process-local atomic — persistent allocator recovery is out of scope
 //! here, exactly as in the original FliT work (the structures themselves
 //! never recycle nodes, so a monotonic bump pointer is crash-safe: cells
-//! allocated by a crashed operation are simply leaked).
+//! allocated by a crashed operation are simply leaked). Failed
+//! allocations are side-effect-free: the bump only advances when the
+//! request fits.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -48,16 +50,20 @@ impl SharedHeap {
     ///
     /// # Panics
     ///
-    /// Panics if the range exceeds the region.
+    /// Panics if the range exceeds the region (including when `base + len`
+    /// overflows `u32`).
     pub fn with_range(cfg: &SystemConfig, region: MachineId, base: u32, len: u32) -> Self {
+        let limit = base
+            .checked_add(len)
+            .expect("heap range exceeds the region: base + len overflows");
         assert!(
-            base + len <= cfg.machine(region).locations,
+            limit <= cfg.machine(region).locations,
             "heap range exceeds the region"
         );
         SharedHeap {
             region,
             next: AtomicU32::new(base),
-            limit: base + len,
+            limit,
         }
     }
 
@@ -68,13 +74,26 @@ impl SharedHeap {
 
     /// Allocates `n` consecutive cells, returning the first. Returns
     /// `None` when the region is exhausted.
+    ///
+    /// A failed allocation is side-effect-free: the bump counter only
+    /// advances when the whole range fits, so the remaining tail cells
+    /// stay allocatable and repeated failures can never overflow the
+    /// counter into "successful" out-of-range allocations.
     pub fn alloc(&self, n: u32) -> Option<Loc> {
-        let base = self.next.fetch_add(n, Ordering::Relaxed);
-        if base + n > self.limit {
-            // Exhausted; roll back is unnecessary (monotonic bump).
-            return None;
+        let mut base = self.next.load(Ordering::Relaxed);
+        loop {
+            let end = base.checked_add(n)?;
+            if end > self.limit {
+                return None;
+            }
+            match self
+                .next
+                .compare_exchange_weak(base, end, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return Some(Loc::new(self.region, base)),
+                Err(actual) => base = actual,
+            }
         }
-        Some(Loc::new(self.region, base))
     }
 
     /// Cells remaining.
@@ -114,8 +133,32 @@ mod tests {
         assert_eq!(heap.remaining(), 4);
         assert!(heap.alloc(3).is_some());
         assert!(heap.alloc(2).is_none());
-        // Note: the failed alloc already consumed the bump counter — the
-        // remaining cell is unreachable, by design (monotonic bump).
+        // A failed alloc is side-effect-free: the tail cell stays usable.
+        assert_eq!(heap.remaining(), 1);
+        assert!(heap.alloc(1).is_some());
+        assert!(heap.alloc(1).is_none());
+        assert_eq!(heap.remaining(), 0);
+    }
+
+    #[test]
+    fn repeated_failed_allocs_never_wrap_into_success() {
+        let cfg = SystemConfig::symmetric_nvm(1, 4);
+        let heap = SharedHeap::new(&cfg, MachineId(0));
+        // With the old fetch_add bump, each failure advanced the counter;
+        // enough failures wrapped base + n past u32::MAX back into range.
+        for _ in 0..8 {
+            assert!(heap.alloc(u32::MAX / 2).is_none());
+        }
+        assert!(heap.alloc(u32::MAX).is_none());
+        let a = heap.alloc(4).expect("the full region is still intact");
+        assert_eq!(a.addr.0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows")]
+    fn with_range_overflow_panics() {
+        let cfg = SystemConfig::symmetric_nvm(1, 4);
+        let _ = SharedHeap::with_range(&cfg, MachineId(0), u32::MAX, 2);
     }
 
     #[test]

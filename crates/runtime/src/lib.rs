@@ -3,6 +3,10 @@
 //!
 //! This crate makes the paper's §6 runnable:
 //!
+//! * [`api`] — **the recommended programming model**: [`Cluster`] /
+//!   [`Session`], typed durable structures over the [`Word`] trait, a
+//!   [`PersistMode`] switch for the durability strategy, and a durable
+//!   **named-root registry** so post-crash code reattaches by name.
 //! * [`backend`] — [`SimFabric`], a thread-safe, multi-machine
 //!   implementation of the CXL0 semantics with crash injection, eviction
 //!   (`τ`) simulation, per-primitive statistics and a simulated-latency
@@ -31,31 +35,36 @@
 //! ## Quick example
 //!
 //! ```
-//! use std::sync::Arc;
-//! use cxl0_runtime::{SimFabric, SharedHeap, DurableQueue, FlitCxl0};
-//! use cxl0_model::{SystemConfig, MachineId};
+//! use cxl0_runtime::api::Cluster;
+//! use cxl0_model::MachineId;
 //!
-//! // Two compute nodes + one NVM memory node.
-//! let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1024));
-//! let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
-//! let queue = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-//! let node = fabric.node(MachineId(0));
-//! queue.init(&node)?;
-//! queue.enqueue(&node, 7)?;
+//! // Two compute nodes + one NVM memory node, FliT-CXL0 durability.
+//! let cluster = Cluster::symmetric(2, 1024)?;
+//! let session = cluster.session(MachineId(0));
+//! let queue = session.create_queue::<u64>("jobs")?;
+//! queue.enqueue(&session, 7)?;
 //!
 //! // The memory node crashes; NVM contents survive, caches do not —
-//! // but FliT persisted the enqueue before it returned.
-//! fabric.crash(MachineId(2));
-//! fabric.recover(MachineId(2));
-//! queue.recover(&node)?;
-//! assert_eq!(queue.dequeue(&node)?, Some(7));
-//! # Ok::<(), cxl0_runtime::Crashed>(())
+//! // but FliT persisted the enqueue before it returned. Reattach by
+//! // name through the durable named-root registry.
+//! cluster.crash(cluster.memory_node());
+//! cluster.recover(cluster.memory_node());
+//! let queue = session.open_queue::<u64>("jobs")?;
+//! queue.recover(&session)?;
+//! assert_eq!(queue.dequeue(&session)?, Some(7));
+//! # Ok::<(), cxl0_runtime::api::ApiError>(())
 //! ```
+//!
+//! The low-level layer (`SimFabric` + `SharedHeap` + a
+//! [`Persistence`] strategy, with structures taking a raw
+//! [`NodeHandle`]) remains public — see [`backend`] — for tests and
+//! experiments that need primitive-level control.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod api;
 pub mod backend;
 pub mod buffered;
 pub mod cost;
@@ -66,7 +75,8 @@ pub mod flit_async;
 pub mod heap;
 pub mod snapshot;
 
-pub use backend::{NodeHandle, SimFabric, Stats, StatsSnapshot};
+pub use api::{ApiError, ApiResult, Cluster, ClusterBuilder, PersistMode, Session, Word};
+pub use backend::{AsNode, NodeHandle, SimFabric, Stats, StatsSnapshot};
 pub use buffered::BufferedEpoch;
 pub use cost::CostModel;
 pub use ds::{

@@ -16,10 +16,11 @@
 
 use std::sync::Arc;
 
+use cxl0::api::{Cluster, PersistMode};
 use cxl0::explore::paper_async::{async_flush_tests, check_aflush_barrier_equivalence};
 use cxl0::model::asyncflush::{AsyncLabel, AsyncSemantics};
 use cxl0::model::{Label, Loc, MachineId, SystemConfig, Val};
-use cxl0::runtime::{FlitAsync, FlitCxl0, Persistence, SharedHeap, SimFabric};
+use cxl0::runtime::{FlitAsync, FlitCxl0, Persistence};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m1 = MachineId(0);
@@ -82,20 +83,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     const OPS: usize = 500;
 
     let run = |name: &str, p: Arc<dyn Persistence>, raise: &dyn Fn(Loc)| -> u64 {
-        let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 64));
-        let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
-        let cells: Vec<Loc> = (0..CELLS).map(|_| heap.alloc(1).unwrap()).collect();
+        // The cluster supplies fabric + heap; the strategies under
+        // comparison are constructed concretely (their raise_counter
+        // testing hooks are not on the Persistence trait).
+        let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 64))
+            .persist(PersistMode::None)
+            .root_capacity(0)
+            .build()
+            .unwrap();
+        let cells: Vec<Loc> = (0..CELLS)
+            .map(|_| cluster.heap().alloc(1).unwrap())
+            .collect();
         for &c in &cells {
             raise(c);
         }
-        let node = fabric.node(m1);
+        let session = cluster.session(m1);
         for _ in 0..OPS {
             for &c in &cells {
-                p.shared_load(&node, c, true).unwrap();
+                p.shared_load(session.node(), c, true).unwrap();
             }
-            p.complete_op(&node).unwrap();
+            p.complete_op(session.node()).unwrap();
         }
-        let ns = fabric.stats().sim_nanos() / OPS as u64;
+        let ns = session.stats_delta().sim_ns / OPS as u64;
         println!("{name:<12} {ns:>8} simulated ns/op");
         ns
     };

@@ -13,17 +13,20 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use cxl0::api::Cluster;
 use cxl0::dlcheck::spec::{QueueOp, QueueRet, QueueSpec};
 use cxl0::dlcheck::{check_durably_linearizable, Recorder, ThreadId};
-use cxl0::model::{MachineId, SystemConfig};
-use cxl0::runtime::{DurableQueue, FlitCxl0, SharedHeap, SimFabric};
+use cxl0::model::MachineId;
 
 fn main() {
-    let mem_node = MachineId(2);
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 16));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), mem_node));
-    let queue = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-    queue.init(&fabric.node(MachineId(0))).unwrap();
+    // Two compute nodes + one NVM memory node, FliT-CXL0 durability —
+    // one builder call instead of fabric + heap + strategy assembly.
+    let cluster = Cluster::symmetric(2, 1 << 16).unwrap();
+    let mem_node = cluster.memory_node();
+    let queue = cluster
+        .session(MachineId(0))
+        .create_queue::<u64>("jobs")
+        .unwrap();
 
     let recorder: Recorder<QueueOp, QueueRet> = Recorder::new();
     let stop = Arc::new(AtomicBool::new(false));
@@ -31,7 +34,7 @@ fn main() {
     let mut workers = Vec::new();
     for t in 0..4usize {
         let machine = MachineId(t % 2);
-        let node = fabric.node(machine);
+        let session = cluster.session(machine);
         let queue = queue.clone();
         let recorder = recorder.clone();
         let stop = Arc::clone(&stop);
@@ -46,7 +49,7 @@ fn main() {
                 if t.is_multiple_of(2) {
                     let v = (t as u64) * 1_000_000 + produced + 1;
                     let id = recorder.invoke(ThreadId(t), machine.index(), QueueOp::Enq(v));
-                    match queue.enqueue(&node, v) {
+                    match queue.enqueue(&session, v) {
                         Ok(true) => recorder.respond(id, QueueRet::Ok),
                         Ok(false) => break, // heap exhausted
                         Err(_) => break,    // machine crashed mid-op: stays pending
@@ -54,7 +57,7 @@ fn main() {
                     produced += 1;
                 } else {
                     let id = recorder.invoke(ThreadId(t), machine.index(), QueueOp::Deq);
-                    match queue.dequeue(&node) {
+                    match queue.dequeue(&session) {
                         Ok(v) => recorder.respond(id, QueueRet::Deqd(v)),
                         Err(_) => break,
                     }
@@ -66,7 +69,7 @@ fn main() {
     // Let the workload run, then crash the memory node mid-flight.
     std::thread::sleep(std::time::Duration::from_millis(30));
     println!("injecting crash of the memory node {mem_node} ...");
-    fabric.crash(mem_node);
+    cluster.crash(mem_node);
     recorder.crash(mem_node.index());
     std::thread::sleep(std::time::Duration::from_millis(5));
     stop.store(true, Ordering::Relaxed);
@@ -74,14 +77,17 @@ fn main() {
         w.join().unwrap();
     }
 
-    // Recover: NVM survived; caches did not. Repair the tail and drain.
-    fabric.recover(mem_node);
-    let node = fabric.node(MachineId(0));
-    queue.recover(&node).unwrap();
+    // Recover: NVM survived; caches did not. Reattach the queue *by
+    // name* — no header location was kept anywhere volatile — then
+    // repair the tail and drain.
+    cluster.recover(mem_node);
+    let session = cluster.session(MachineId(0));
+    let queue = session.open_queue::<u64>("jobs").unwrap();
+    queue.recover(&session).unwrap();
     let mut drained = 0usize;
     loop {
         let id = recorder.invoke(ThreadId(100), 0, QueueOp::Deq);
-        let v = queue.dequeue(&node).unwrap();
+        let v = queue.dequeue(&session).unwrap();
         recorder.respond(id, QueueRet::Deqd(v));
         if v.is_none() {
             break;

@@ -10,15 +10,23 @@
 //!
 //! Run with: `cargo run --example gpf_snapshot`
 
+use cxl0::api::{Cluster, PersistMode};
 use cxl0::model::{Loc, MachineId, SystemConfig};
-use cxl0::runtime::{take_gpf_snapshot, SimFabric};
+use cxl0::runtime::take_gpf_snapshot;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m0 = MachineId(0);
     let m1 = MachineId(1);
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
-    let n0 = fabric.node(m0);
-    let n1 = fabric.node(m1);
+    // Raw (unflushed) stores are the point here, so build the cluster
+    // without a durability strategy and drive the sessions' node handles.
+    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 8))
+        .persist(PersistMode::None)
+        .root_capacity(0)
+        .build()?;
+    let fabric = cluster.fabric();
+    let s0 = cluster.session(m0);
+    let s1 = cluster.session(m1);
+    let (n0, n1) = (s0.node(), s1.node());
 
     println!("=== Round 1: unflushed stores from both machines ===\n");
     for a in 0..4 {
@@ -30,7 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fabric.is_cached(Loc::new(m1, 0))
     );
 
-    let checkpoint1 = take_gpf_snapshot(&n0)?;
+    let checkpoint1 = take_gpf_snapshot(n0)?;
     println!("GPF snapshot taken: {checkpoint1}");
     println!(
         "after GPF: x[m1:a0] cached? {} (drained to memory)",
@@ -38,10 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("\n=== Both machines crash right after the checkpoint ===\n");
-    fabric.crash(m0);
-    fabric.crash(m1);
-    fabric.recover(m0);
-    fabric.recover(m1);
+    cluster.crash(m0);
+    cluster.crash(m1);
+    cluster.recover(m0);
+    cluster.recover(m1);
 
     let mut intact = 0;
     for (loc, v) in checkpoint1.iter() {
@@ -53,7 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Round 2: more work, second checkpoint, diff ===\n");
     n0.lstore(Loc::new(m1, 0), 999)?;
     n1.mstore(Loc::new(m0, 7), 42)?;
-    let checkpoint2 = take_gpf_snapshot(&n0)?;
+    let checkpoint2 = take_gpf_snapshot(n0)?;
     println!("changes between checkpoints:");
     for (loc, before, after) in checkpoint1.diff(&checkpoint2) {
         println!("  {loc}: {before} → {after}");

@@ -10,8 +10,8 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+use cxl0::api::{Cluster, PersistMode};
 use cxl0::model::{Label, Loc, MachineId, Semantics, SystemConfig, Val};
-use cxl0::runtime::SimFabric;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let left = MachineId(0);
@@ -68,30 +68,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Load(y) after crash observes {observed} (the RFlush made 4 durable)\n");
 
     println!("=== Part 2: the same story on the executable runtime ===\n");
-    let fabric = SimFabric::new(cfg);
-    let node = fabric.node(left);
+    // A cluster owns the fabric; raw primitives are the session's
+    // low-level escape hatch (`session.node()`). No durability strategy
+    // here — this part drives the primitives themselves.
+    let cluster = Cluster::builder(cfg)
+        .persist(PersistMode::None)
+        .root_capacity(0)
+        .build()?;
+    let session = cluster.session(left);
+    let node = session.node();
     node.mstore(x, 1)?;
     node.lstore(y, 2)?;
     node.mstore(y, 3)?;
     node.rstore(y, 4)?;
     println!(
         "after ①–④: y's memory = {} (RStore still cached)",
-        fabric.peek_memory(y)
+        cluster.fabric().peek_memory(y)
     );
     node.rflush(y)?;
-    println!("after RFlush(y): y's memory = {}", fabric.peek_memory(y));
+    println!(
+        "after RFlush(y): y's memory = {}",
+        cluster.fabric().peek_memory(y)
+    );
 
-    fabric.crash(right);
+    cluster.crash(right);
     println!(
         "right machine crashed; ops from it fail: {:?}",
-        fabric.node(right).load(y)
+        cluster.session(right).node().load(y)
     );
-    fabric.recover(right);
+    cluster.recover(right);
     println!("after recovery, Load(y) = {} — durable", node.load(y)?);
 
-    let s = fabric.stats().snapshot();
+    let s = session.stats_delta();
     println!(
-        "\nfabric stats: {} ops total ({} stores, {} flushes), {} simulated ns",
+        "\nsession stats: {} ops total ({} stores, {} flushes), {} simulated ns",
         s.total_ops(),
         s.lstores + s.rstores + s.mstores,
         s.flushes(),

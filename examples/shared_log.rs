@@ -10,33 +10,28 @@
 //!
 //! Run with: `cargo run --example shared_log`
 
-use std::sync::Arc;
-
-use cxl0::model::{MachineId, StoreKind, SystemConfig};
-use cxl0::runtime::{DurableLog, FlitCxl0, SharedHeap, SimFabric, SlotState};
+use cxl0::api::Cluster;
+use cxl0::model::{MachineId, StoreKind};
+use cxl0::runtime::{DurableLog, SlotState};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    const MEM: MachineId = MachineId(3);
-    let fabric = SimFabric::new(SystemConfig::new(vec![
-        cxl0::model::MachineConfig::compute_only(),
-        cxl0::model::MachineConfig::compute_only(),
-        cxl0::model::MachineConfig::compute_only(),
-        cxl0::model::MachineConfig::non_volatile(4096),
-    ]));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
-    let log =
-        DurableLog::create(&heap, 1024, Arc::new(FlitCxl0::default())).expect("heap fits the log");
+    // Three compute nodes + one NVM pool node: one builder call.
+    let cluster = Cluster::symmetric(3, 4096)?;
+    let mem = cluster.memory_node();
+    let log = cluster
+        .session(MachineId(0))
+        .create_log::<u64>("events", 1024)?;
 
     println!("=== Phase 1: three producers append concurrently ===\n");
     let mut handles = Vec::new();
     for producer in 0..3usize {
-        let node = fabric.node(MachineId(producer));
+        let session = cluster.session(MachineId(producer));
         let log = log.clone();
         handles.push(std::thread::spawn(move || {
             let mut appended = 0;
             for k in 0..20u64 {
                 let payload = (producer as u64) * 1000 + k;
-                if log.append(&node, payload).unwrap().is_some() {
+                if log.append(&session, payload).unwrap().is_some() {
                     appended += 1;
                 }
             }
@@ -44,38 +39,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }));
     }
     let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
-    let node = fabric.node(MachineId(0));
+    let session = cluster.session(MachineId(0));
     println!(
         "{total} appends completed; frontier = {}",
-        log.frontier(&node)?
+        log.frontier(&session)?
     );
 
     println!("\n=== Phase 2: a producer dies mid-append, then the memory node crashes ===\n");
     // Producer 2 reserves a slot and crashes before its payload persists
     // (simulated with raw primitives: a persistent reservation + an
     // unflushed cached store).
-    let dying = fabric.node(MachineId(2));
-    let hole_idx = dying.faa(StoreKind::Memory, log_tail(&log), 1)?;
-    dying.lstore(log_slot(&log, hole_idx), 424243)?;
+    // The raw primitives live on the session's node handle — the
+    // low-level escape hatch.
+    let dying = cluster.session(MachineId(2));
+    let hole_idx = dying.node().faa(StoreKind::Memory, log_tail(&log), 1)?;
+    dying.node().lstore(log_slot(&log, hole_idx), 424243)?;
     println!("producer 2 reserved slot {hole_idx} and crashed before persisting");
-    fabric.crash(MachineId(2));
+    cluster.crash(MachineId(2));
 
     // A healthy producer appends after the hole.
-    let after = log.append(&node, 777)?.expect("room");
+    let after = log.append(&session, 777)?.expect("room");
     println!("producer 0 appended 777 at slot {after} (past the hole)");
 
-    fabric.crash(MEM);
-    fabric.recover(MEM);
+    cluster.crash(mem);
+    cluster.recover(mem);
     println!("memory node crashed and recovered");
 
     println!("\n=== Phase 3: recovery ===\n");
-    let (committed, sealed) = log.recover(&node)?;
+    // Reattach by name, then seal the hole Corfu-style.
+    let log = session.open_log::<u64>("events")?;
+    let (committed, sealed) = log.recover(&session)?;
     println!("recovery: {committed} committed entries, {sealed} hole(s) sealed as junk");
     assert_eq!(sealed, 1);
-    assert_eq!(log.read(&node, hole_idx)?, SlotState::Junk);
-    assert_eq!(log.read(&node, after)?, SlotState::Value(777));
+    assert_eq!(log.read(&session, hole_idx)?, SlotState::Junk);
+    assert_eq!(log.read(&session, after)?, SlotState::Value(777));
 
-    let entries = log.scan(&node)?;
+    let entries = log.scan(&session)?;
     println!("first 10 recovered entries:");
     for (i, v) in entries.iter().take(10) {
         println!("  [{i:>3}] {v}");

@@ -3,50 +3,48 @@
 //!
 //! Concurrent workers on two compute machines drive each durable object
 //! hosted on an NVM memory node; a nemesis crashes the memory node
-//! mid-run; recovery re-attaches and the full history (crash included) is
-//! checked with `cxl0-dlcheck`.
+//! mid-run; recovery *reattaches by name* through the session API and the
+//! full history (crash included) is checked with `cxl0-dlcheck`.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
+use cxl0::api::{Cluster, PersistMode, Session};
 use cxl0::dlcheck::spec::{
     CounterOp, CounterSpec, MapOp, MapRet, MapSpec, QueueOp, QueueRet, QueueSpec, RegisterOp,
     RegisterRet, RegisterSpec, StackOp, StackRet, StackSpec,
 };
 use cxl0::dlcheck::{check_durably_linearizable, Recorder, ThreadId};
 use cxl0::model::{MachineId, SystemConfig};
-use cxl0::runtime::{
-    DurableCounter, DurableMap, DurableQueue, DurableRegister, DurableStack, FlitCxl0,
-    FlitOwnerOpt, FlitX86, NaiveMStore, Persistence, SharedHeap, SimFabric,
-};
 
 const MEM: MachineId = MachineId(2);
 
-fn setup(p: Arc<dyn Persistence>) -> (Arc<SimFabric>, Arc<SharedHeap>, Arc<dyn Persistence>) {
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 15));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
-    (fabric, heap, p)
+fn setup(mode: PersistMode) -> Arc<Cluster> {
+    Cluster::builder(SystemConfig::symmetric_nvm(3, 1 << 15))
+        .persist(mode)
+        .build()
+        .unwrap()
 }
 
-/// Drives `threads` workers, each issuing `ops_per_thread` operations via
-/// `work`, crashing the memory node once in the middle.
-fn crash_workload<F>(fabric: &Arc<SimFabric>, threads: usize, work: F)
+/// Drives `threads` workers, each with its own [`Session`], issuing
+/// operations via `work`, crashing the memory node once in the middle.
+fn crash_workload<F>(cluster: &Arc<Cluster>, threads: usize, work: F)
 where
-    F: Fn(usize, &cxl0::runtime::NodeHandle, &AtomicBool) + Send + Sync + 'static,
+    F: Fn(usize, &Session, &AtomicBool) + Send + Sync + 'static,
 {
     let work = Arc::new(work);
     let stop = Arc::new(AtomicBool::new(false));
     let mut handles = Vec::new();
     for t in 0..threads {
-        let node = fabric.node(MachineId(t % 2));
+        let session = cluster.session(MachineId(t % 2));
         let stop = Arc::clone(&stop);
         let work = Arc::clone(&work);
-        handles.push(std::thread::spawn(move || work(t, &node, &stop)));
+        handles.push(std::thread::spawn(move || work(t, &session, &stop)));
     }
     std::thread::sleep(std::time::Duration::from_millis(15));
-    fabric.crash(MEM);
+    cluster.crash(MEM);
     std::thread::sleep(std::time::Duration::from_millis(2));
-    fabric.recover(MEM);
+    cluster.recover(MEM);
     std::thread::sleep(std::time::Duration::from_millis(10));
     stop.store(true, Ordering::Relaxed);
     for h in handles {
@@ -56,26 +54,29 @@ where
 
 #[test]
 fn flit_register_durably_linearizable_under_crash() {
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let reg = DurableRegister::create(&heap, p).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let reg = cluster
+        .session(MachineId(0))
+        .create_register::<u64>("reg")
+        .unwrap();
     let recorder: Recorder<RegisterOp, RegisterRet> = Recorder::new();
     {
         let reg = reg.clone();
         let rec = recorder.clone();
-        crash_workload(&fabric, 4, move |t, node, stop| {
+        crash_workload(&cluster, 4, move |t, session, stop| {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) {
-                let machine = node.machine().index();
+                let machine = session.machine().index();
                 if (t + i as usize).is_multiple_of(2) {
                     let v = (t as u64) * 1000 + i + 1;
                     let id = rec.invoke(ThreadId(t), machine, RegisterOp::Write(v));
-                    match reg.write(node, v) {
+                    match reg.write(session, v) {
                         Ok(()) => rec.respond(id, RegisterRet::Ok),
                         Err(_) => break,
                     }
                 } else {
                     let id = rec.invoke(ThreadId(t), machine, RegisterOp::Read);
-                    match reg.read(node) {
+                    match reg.read(session) {
                         Ok(v) => rec.respond(id, RegisterRet::Value(v)),
                         Err(_) => break,
                     }
@@ -89,14 +90,13 @@ fn flit_register_durably_linearizable_under_crash() {
         });
     }
     // The memory node crash interrupts nobody's thread (workers run on
-    // m0/m1), but ops in flight at the crash may have failed... they
-    // cannot: the memory node holds no threads. Record the crash event
-    // for the checker anyway — completed ops must still read
-    // consistently afterwards.
+    // m0/m1). Record the crash event for the checker; reattach the
+    // register by name and read — completed ops must still be visible.
     recorder.crash(MEM.index());
-    let node = fabric.node(MachineId(0));
+    let session = cluster.session(MachineId(0));
+    let reg = session.open_register::<u64>("reg").unwrap();
     let id = recorder.invoke(ThreadId(99), 0, RegisterOp::Read);
-    let v = reg.read(&node).unwrap();
+    let v = reg.read(&session).unwrap();
     recorder.respond(id, RegisterRet::Value(v));
     let result = check_durably_linearizable(&RegisterSpec, &recorder.finish());
     assert!(result.is_ok(), "{result}");
@@ -104,27 +104,29 @@ fn flit_register_durably_linearizable_under_crash() {
 
 #[test]
 fn flit_queue_durably_linearizable_under_crash() {
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let queue = DurableQueue::create(&heap, p).unwrap();
-    queue.init(&fabric.node(MachineId(0))).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let queue = cluster
+        .session(MachineId(0))
+        .create_queue::<u64>("q")
+        .unwrap();
     let recorder: Recorder<QueueOp, QueueRet> = Recorder::new();
     {
         let queue = queue.clone();
         let rec = recorder.clone();
-        crash_workload(&fabric, 4, move |t, node, stop| {
+        crash_workload(&cluster, 4, move |t, session, stop| {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) && i < 30 {
-                let machine = node.machine().index();
+                let machine = session.machine().index();
                 if t.is_multiple_of(2) {
                     let v = (t as u64) * 1000 + i + 1;
                     let id = rec.invoke(ThreadId(t), machine, QueueOp::Enq(v));
-                    match queue.enqueue(node, v) {
+                    match queue.enqueue(session, v) {
                         Ok(true) => rec.respond(id, QueueRet::Ok),
                         _ => break,
                     }
                 } else {
                     let id = rec.invoke(ThreadId(t), machine, QueueOp::Deq);
-                    match queue.dequeue(node) {
+                    match queue.dequeue(session) {
                         Ok(v) => rec.respond(id, QueueRet::Deqd(v)),
                         Err(_) => break,
                     }
@@ -134,11 +136,12 @@ fn flit_queue_durably_linearizable_under_crash() {
         });
     }
     recorder.crash(MEM.index());
-    let node = fabric.node(MachineId(0));
-    queue.recover(&node).unwrap();
+    let session = cluster.session(MachineId(0));
+    let queue = session.open_queue::<u64>("q").unwrap();
+    queue.recover(&session).unwrap();
     loop {
         let id = recorder.invoke(ThreadId(98), 0, QueueOp::Deq);
-        let v = queue.dequeue(&node).unwrap();
+        let v = queue.dequeue(&session).unwrap();
         recorder.respond(id, QueueRet::Deqd(v));
         if v.is_none() {
             break;
@@ -150,36 +153,39 @@ fn flit_queue_durably_linearizable_under_crash() {
 
 #[test]
 fn flit_map_durably_linearizable_under_crash() {
-    let (fabric, heap, p) = setup(Arc::new(FlitOwnerOpt::default()));
-    let map = DurableMap::create(&heap, 64, p).unwrap();
+    let cluster = setup(PersistMode::OwnerOpt);
+    let map = cluster
+        .session(MachineId(0))
+        .create_map::<u64, u64>("m", 64)
+        .unwrap();
     let recorder: Recorder<MapOp, MapRet> = Recorder::new();
     {
         let map = map.clone();
         let rec = recorder.clone();
-        crash_workload(&fabric, 4, move |t, node, stop| {
+        crash_workload(&cluster, 4, move |t, session, stop| {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) && i < 25 {
-                let machine = node.machine().index();
+                let machine = session.machine().index();
                 let key = (i % 8) + 1;
                 match (t + i as usize) % 3 {
                     0 => {
                         let v = (t as u64) * 1000 + i + 1;
                         let id = rec.invoke(ThreadId(t), machine, MapOp::Insert(key, v));
-                        match map.insert(node, key, v) {
+                        match map.insert(session, key, v) {
                             Ok(Some(prev)) => rec.respond(id, MapRet::Value(prev)),
                             _ => break,
                         }
                     }
                     1 => {
                         let id = rec.invoke(ThreadId(t), machine, MapOp::Get(key));
-                        match map.get(node, key) {
+                        match map.get(session, key) {
                             Ok(v) => rec.respond(id, MapRet::Value(v)),
                             Err(_) => break,
                         }
                     }
                     _ => {
                         let id = rec.invoke(ThreadId(t), machine, MapOp::Remove(key));
-                        match map.remove(node, key) {
+                        match map.remove(session, key) {
                             Ok(v) => rec.respond(id, MapRet::Value(v)),
                             Err(_) => break,
                         }
@@ -198,25 +204,28 @@ fn flit_map_durably_linearizable_under_crash() {
 fn flit_stack_and_counter_survive_compute_node_crash() {
     // Crash a *compute* node mid-operation: its threads die with pending
     // ops; everything completed must persist.
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let stack = DurableStack::create(&heap, Arc::clone(&p)).unwrap();
-    let counter = DurableCounter::create(&heap, p).unwrap();
-    let node0 = fabric.node(MachineId(0));
-    let node1 = fabric.node(MachineId(1));
+    let cluster = setup(PersistMode::FlitCxl0);
+    let s0 = cluster.session(MachineId(0));
+    let s1 = cluster.session(MachineId(1));
+    let stack = s0.create_stack::<u64>("s").unwrap();
+    let counter = s0.create_counter("c").unwrap();
 
     for v in 1..=20u64 {
-        stack.push(&node0, v).unwrap();
-        counter.add(&node0, 1).unwrap();
+        stack.push(&s0, v).unwrap();
+        counter.add(&s0, 1).unwrap();
     }
-    fabric.crash(MachineId(0));
-    // m1 continues unaffected; every completed push/add is visible.
-    assert_eq!(counter.get(&node1).unwrap(), 20);
-    assert_eq!(stack.len(&node1).unwrap(), 20);
+    cluster.crash(MachineId(0));
+    // m1 continues unaffected; every completed push/add is visible —
+    // including through fresh by-name handles.
+    let counter = s1.open_counter("c").unwrap();
+    let stack = s1.open_stack::<u64>("s").unwrap();
+    assert_eq!(counter.get(&s1).unwrap(), 20);
+    assert_eq!(stack.len(&s1).unwrap(), 20);
     // And the memory node's crash does not lose them either:
-    fabric.crash(MEM);
-    fabric.recover(MEM);
-    assert_eq!(counter.get(&node1).unwrap(), 20);
-    let drained = stack.drain(&node1).unwrap();
+    cluster.crash(MEM);
+    cluster.recover(MEM);
+    assert_eq!(counter.get(&s1).unwrap(), 20);
+    let drained = stack.drain(&s1).unwrap();
     assert_eq!(drained.len(), 20);
     assert_eq!(drained[0], 20); // LIFO
 }
@@ -226,20 +235,20 @@ fn unadapted_x86_flit_loses_completed_operations() {
     // The negative result that motivates §6.1: Algorithm 1 ported with
     // local flushes only is NOT durably linearizable under partial
     // crashes — a completed write vanishes with the owner's cache.
-    let (fabric, heap, p) = setup(Arc::new(FlitX86::default()));
-    let reg = DurableRegister::create(&heap, p).unwrap();
+    let cluster = setup(PersistMode::FlitX86);
+    let session = cluster.session(MachineId(0));
+    let reg = session.create_register::<u64>("r").unwrap();
     let recorder: Recorder<RegisterOp, RegisterRet> = Recorder::new();
-    let node = fabric.node(MachineId(0));
 
     let id = recorder.invoke(ThreadId(0), 0, RegisterOp::Write(7));
-    reg.write(&node, 7).unwrap();
+    reg.write(&session, 7).unwrap();
     recorder.respond(id, RegisterRet::Ok);
     // Drain nothing: the LFlush left the line in the owner's cache only.
-    fabric.crash(MEM);
+    cluster.crash(MEM);
     recorder.crash(MEM.index());
-    fabric.recover(MEM);
+    cluster.recover(MEM);
     let id = recorder.invoke(ThreadId(1), 0, RegisterOp::Read);
-    let v = reg.read(&node).unwrap();
+    let v = reg.read(&session).unwrap();
     recorder.respond(id, RegisterRet::Value(v));
 
     assert_eq!(v, 0, "the completed write must have been lost");
@@ -253,36 +262,38 @@ fn unadapted_x86_flit_loses_completed_operations() {
 #[test]
 fn flit_list_durably_linearizable_under_crash() {
     use cxl0::dlcheck::spec::{SetOp, SetSpec};
-    use cxl0::runtime::DurableList;
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let list = DurableList::create(&heap, p).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let list = cluster
+        .session(MachineId(0))
+        .create_list::<u64>("l")
+        .unwrap();
     let recorder: Recorder<SetOp, bool> = Recorder::new();
     {
         let list = list.clone();
         let rec = recorder.clone();
-        crash_workload(&fabric, 4, move |t, node, stop| {
+        crash_workload(&cluster, 4, move |t, session, stop| {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) && i < 25 {
-                let machine = node.machine().index();
+                let machine = session.machine().index();
                 let key = (i * 3 + t as u64) % 12 + 1;
                 match (t + i as usize) % 3 {
                     0 => {
                         let id = rec.invoke(ThreadId(t), machine, SetOp::Insert(key));
-                        match list.insert(node, key) {
+                        match list.insert(session, key) {
                             Ok(r) => rec.respond(id, r),
                             Err(_) => break,
                         }
                     }
                     1 => {
                         let id = rec.invoke(ThreadId(t), machine, SetOp::Remove(key));
-                        match list.remove(node, key) {
+                        match list.remove(session, key) {
                             Ok(r) => rec.respond(id, r),
                             Err(_) => break,
                         }
                     }
                     _ => {
                         let id = rec.invoke(ThreadId(t), machine, SetOp::Contains(key));
-                        match list.contains(node, key) {
+                        match list.contains(session, key) {
                             Ok(r) => rec.respond(id, r),
                             Err(_) => break,
                         }
@@ -294,10 +305,11 @@ fn flit_list_durably_linearizable_under_crash() {
     }
     recorder.crash(MEM.index());
     // Post-crash reads must observe a consistent set.
-    let node = fabric.node(MachineId(0));
+    let session = cluster.session(MachineId(0));
+    let list = session.open_list::<u64>("l").unwrap();
     for key in 1..=12u64 {
         let id = recorder.invoke(ThreadId(97), 0, SetOp::Contains(key));
-        let r = list.contains(&node, key).unwrap();
+        let r = list.contains(&session, key).unwrap();
         recorder.respond(id, r);
     }
     let result = check_durably_linearizable(&SetSpec, &recorder.finish());
@@ -307,20 +319,22 @@ fn flit_list_durably_linearizable_under_crash() {
 #[test]
 fn flit_log_durably_linearizable_under_crash() {
     use cxl0::dlcheck::spec::{LogOp, LogRet, LogSpec};
-    use cxl0::runtime::DurableLog;
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let log = DurableLog::create(&heap, 512, p).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let log = cluster
+        .session(MachineId(0))
+        .create_log::<u64>("log", 512)
+        .unwrap();
     let recorder: Recorder<LogOp, LogRet> = Recorder::new();
     {
         let log = log.clone();
         let rec = recorder.clone();
-        crash_workload(&fabric, 4, move |t, node, stop| {
+        crash_workload(&cluster, 4, move |t, session, stop| {
             let mut i = 0u64;
             while !stop.load(Ordering::Relaxed) && i < 20 {
-                let machine = node.machine().index();
+                let machine = session.machine().index();
                 let v = (t as u64) * 1000 + i + 1;
                 let id = rec.invoke(ThreadId(t), machine, LogOp::Append(v));
-                match log.append(node, v) {
+                match log.append(session, v) {
                     Ok(Some(idx)) => rec.respond(id, LogRet::Index(idx)),
                     _ => break,
                 }
@@ -332,12 +346,13 @@ fn flit_log_durably_linearizable_under_crash() {
     // Post-crash: no producers crashed, so recovery seals no holes and
     // the read-back of every committed slot must linearize with the
     // appends' returned indices.
-    let node = fabric.node(MachineId(0));
-    let (committed, sealed) = log.recover(&node).unwrap();
+    let session = cluster.session(MachineId(0));
+    let log = session.open_log::<u64>("log").unwrap();
+    let (committed, sealed) = log.recover(&session).unwrap();
     assert_eq!(sealed, 0);
     for i in 0..committed {
         let id = recorder.invoke(ThreadId(96), 0, LogOp::Read(i));
-        match log.read(&node, i).unwrap() {
+        match log.read(&session, i).unwrap() {
             cxl0::runtime::SlotState::Value(v) => recorder.respond(id, LogRet::Slot(Some(v))),
             other => panic!("slot {i} should be committed, found {other:?}"),
         }
@@ -348,37 +363,39 @@ fn flit_log_durably_linearizable_under_crash() {
 
 #[test]
 fn naive_mstore_is_durable_but_flushless() {
-    let (fabric, heap, p) = setup(Arc::new(NaiveMStore));
-    let counter = DurableCounter::create(&heap, p).unwrap();
-    let node = fabric.node(MachineId(0));
+    let cluster = setup(PersistMode::NaiveMStore);
+    let session = cluster.session(MachineId(0));
+    let counter = session.create_counter("c").unwrap();
+    let before = session.stats_delta();
     for _ in 0..10 {
-        counter.add(&node, 3).unwrap();
+        counter.add(&session, 3).unwrap();
     }
-    fabric.crash(MEM);
-    fabric.recover(MEM);
-    assert_eq!(counter.get(&node).unwrap(), 30);
-    let s = fabric.stats().snapshot();
+    cluster.crash(MEM);
+    cluster.recover(MEM);
+    assert_eq!(counter.get(&session).unwrap(), 30);
+    let s = session.stats_delta().since(&before);
     assert_eq!(s.flushes(), 0, "naive transform never flushes");
     assert!(s.rmws > 0);
 }
 
 #[test]
 fn counter_spec_checked_history_with_crash() {
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let counter = DurableCounter::create(&heap, p).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let session = cluster.session(MachineId(0));
+    let counter = session.create_counter("c").unwrap();
     let rec: Recorder<CounterOp, u64> = Recorder::new();
-    let node = fabric.node(MachineId(0));
     for i in 0..12u64 {
         let id = rec.invoke(ThreadId(0), 0, CounterOp::Add(2));
-        let prev = counter.add(&node, 2).unwrap();
+        let prev = counter.add(&session, 2).unwrap();
         rec.respond(id, prev);
         assert_eq!(prev, i * 2);
     }
-    fabric.crash(MEM);
+    cluster.crash(MEM);
     rec.crash(MEM.index());
-    fabric.recover(MEM);
+    cluster.recover(MEM);
+    let counter = session.open_counter("c").unwrap();
     let id = rec.invoke(ThreadId(1), 0, CounterOp::Get);
-    let v = counter.get(&node).unwrap();
+    let v = counter.get(&session).unwrap();
     rec.respond(id, v);
     let result = check_durably_linearizable(&CounterSpec, &rec.finish());
     assert!(result.is_ok(), "{result}");
@@ -386,21 +403,22 @@ fn counter_spec_checked_history_with_crash() {
 
 #[test]
 fn stack_spec_checked_history_with_crash() {
-    let (fabric, heap, p) = setup(Arc::new(FlitCxl0::default()));
-    let stack = DurableStack::create(&heap, p).unwrap();
+    let cluster = setup(PersistMode::FlitCxl0);
+    let session = cluster.session(MachineId(0));
+    let stack = session.create_stack::<u64>("s").unwrap();
     let rec: Recorder<StackOp, StackRet> = Recorder::new();
-    let node = fabric.node(MachineId(0));
     for v in [5u64, 6, 7] {
         let id = rec.invoke(ThreadId(0), 0, StackOp::Push(v));
-        stack.push(&node, v).unwrap();
+        stack.push(&session, v).unwrap();
         rec.respond(id, StackRet::Ok);
     }
-    fabric.crash(MEM);
+    cluster.crash(MEM);
     rec.crash(MEM.index());
-    fabric.recover(MEM);
+    cluster.recover(MEM);
+    let stack = session.open_stack::<u64>("s").unwrap();
     for expect in [7u64, 6, 5] {
         let id = rec.invoke(ThreadId(1), 0, StackOp::Pop);
-        let v = stack.pop(&node).unwrap();
+        let v = stack.pop(&session).unwrap();
         rec.respond(id, StackRet::Popped(v));
         assert_eq!(v, Some(expect));
     }

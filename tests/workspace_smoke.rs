@@ -1,35 +1,47 @@
 //! Workspace smoke test: the umbrella crate can reach every layer of the
-//! workspace through the `cxl0` facade, and the `cxl0-runtime` quickstart
-//! round-trip — enqueue, crash the memory node, recover, dequeue — really
-//! persists the enqueued value.
+//! workspace through the `cxl0` facade, and the quickstart round-trip —
+//! enqueue, crash the memory node, recover, reattach by name, dequeue —
+//! really persists the enqueued value.
 
-use std::sync::Arc;
-
+use cxl0::api::{ApiError, Cluster};
 use cxl0::model::{MachineId, SystemConfig};
-use cxl0::runtime::{Crashed, DurableQueue, FlitCxl0, SharedHeap, SimFabric};
 
 #[test]
-fn durable_queue_survives_memory_node_crash() -> Result<(), Crashed> {
-    // Two compute nodes + one NVM memory node, as in the cxl0-runtime docs.
-    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1024));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
-    let queue = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-    let node = fabric.node(MachineId(0));
-    queue.init(&node)?;
-    queue.enqueue(&node, 7)?;
+fn durable_queue_survives_memory_node_crash() -> Result<(), ApiError> {
+    // Two compute nodes + one NVM memory node, as in the cxl0 docs.
+    let cluster = Cluster::symmetric(2, 1024)?;
+    let session = cluster.session(MachineId(0));
+    let queue = session.create_queue::<u64>("jobs")?;
+    queue.enqueue(&session, 7)?;
 
     // The memory node crashes; NVM contents survive, caches do not — but
-    // FliT persisted the enqueue before it returned.
-    fabric.crash(MachineId(2));
-    fabric.recover(MachineId(2));
-    queue.recover(&node)?;
-    assert_eq!(queue.dequeue(&node)?, Some(7));
+    // FliT persisted the enqueue before it returned. Reattach through
+    // the named-root registry: no header Loc was kept anywhere volatile.
+    cluster.crash(cluster.memory_node());
+    cluster.recover(cluster.memory_node());
+    let queue = session.open_queue::<u64>("jobs")?;
+    queue.recover(&session)?;
+    assert_eq!(queue.dequeue(&session)?, Some(7));
 
     // The queue is now empty again and stays usable.
-    assert_eq!(queue.dequeue(&node)?, None);
-    queue.enqueue(&node, 8)?;
-    assert_eq!(queue.dequeue(&node)?, Some(8));
+    assert_eq!(queue.dequeue(&session)?, None);
+    queue.enqueue(&session, 8)?;
+    assert_eq!(queue.dequeue(&session)?, Some(8));
     Ok(())
+}
+
+#[test]
+fn low_level_escape_hatch_still_reaches_primitives() {
+    // The raw layer stays available for primitive-level tests.
+    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 16))
+        .root_capacity(0)
+        .build()
+        .unwrap();
+    let session = cluster.session(MachineId(0));
+    let x = cxl0::model::Loc::new(MachineId(1), 15);
+    session.node().lstore(x, 9).unwrap();
+    session.node().rflush(x).unwrap();
+    assert_eq!(cluster.fabric().peek_memory(x), 9);
 }
 
 #[test]
