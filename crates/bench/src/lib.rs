@@ -14,6 +14,7 @@
 //! | `topologies` | §4 capability matrix |
 //! | `flit_report` | §6.1 transformation-overhead comparison |
 //! | `contention` | link-contention extension sweep |
+//! | `perf_baseline` | the recorded multi-threaded backend baseline (`BENCH_fabric.json`) |
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -326,7 +326,8 @@ impl Cluster {
         self.fabric.config()
     }
 
-    /// Fabric-wide operation counters and simulated time.
+    /// Fabric-wide operation counters and simulated time (striped over
+    /// per-thread stripes internally; [`Stats::snapshot`] aggregates).
     pub fn stats(&self) -> &Stats {
         self.fabric.stats()
     }

@@ -102,7 +102,11 @@ impl Session {
     /// hand-roll.
     ///
     /// Note the counters are fabric-wide: with concurrent sessions the
-    /// delta covers everyone's operations in the window.
+    /// delta covers everyone's operations in the window. Counters are
+    /// striped over per-thread stripes internally, so each snapshot is
+    /// an aggregation: exact for operations on threads that have been
+    /// joined (or otherwise happen-before the call), like any relaxed
+    /// counter read for still-running ones.
     pub fn stats_delta(&self) -> StatsSnapshot {
         self.cluster.stats().snapshot().since(&self.entered)
     }

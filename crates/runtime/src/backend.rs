@@ -7,106 +7,303 @@
 //! The global cache invariant of §3.3 makes the abstract state
 //! *per-location*: for each location there is at most one cached value,
 //! held by a set of machines, plus the owner's memory value. `SimFabric`
-//! therefore shards the state into one lock per location holding
+//! therefore shards the state into one cell per location holding
 //! `(holders bitmask, cached value, memory value)`; every CXL0 rule except
 //! `GPF` and crash touches exactly one location and is applied atomically
-//! under that lock, which makes each operation a linearizable application
-//! of one (or, for flushes, a `τ*`-prefixed) transition of the model. The
-//! integration test `tests/backend_vs_model.rs` checks this refinement
-//! mechanically against `cxl0-model`.
+//! under that cell's writer lock, which makes each operation a
+//! linearizable application of one (or, for flushes, a `τ*`-prefixed)
+//! transition of the model. The integration test
+//! `tests/backend_vs_model.rs` checks this refinement mechanically against
+//! `cxl0-model`.
 //!
 //! *Blocking* primitives (`LFlush`, `RFlush`, `GPF`) are implemented by
 //! **forcing** the propagation steps their preconditions wait for — the
 //! resulting state is exactly the one the blocking rule unblocks in, so
 //! the reachable states are unchanged.
 //!
+//! ## Concurrency: how the hot path scales
+//!
+//! The per-operation path deliberately touches no globally shared
+//! mutable cache line:
+//!
+//! * **Location slab.** All location state lives in one contiguous slab
+//!   of cache-line-aligned location cells with precomputed per-machine
+//!   offsets (no nested `Vec` indirection). Each cell is a tiny
+//!   sequence-locked record of atomics: mutating rules spin on the
+//!   cell's sequence word (writer lock), while read-only rules
+//!   (`Load`-from-M, a failed CAS, no-op flushes, `peek_memory`)
+//!   validate an optimistic snapshot against the sequence word and
+//!   issue **no** atomic read-modify-write at all.
+//! * **Striped statistics.** Operation counters and simulated time are
+//!   recorded on cache-line-padded per-thread *rails* ([`Stats`] owns
+//!   one rail per leased thread slot, plus one shared overflow rail).
+//!   A rail is written by exactly one live thread, so the common-path
+//!   update is a plain load + store pair on a line no other thread
+//!   touches; [`Stats::snapshot`] aggregates across rails.
+//! * **Epoch-style crash gate.** Instead of a per-machine reader–writer
+//!   lock taken on every operation, each rail carries an *active-op*
+//!   counter: an operation publishes `active += 1` (sequentially
+//!   consistent), checks the fabric's crash word (a halted flag plus a
+//!   crashed-machine bitmask on one read-mostly line), and decrements on
+//!   completion. [`SimFabric::crash`] flips the halted flag and spins
+//!   until every rail drains — the Dekker-style publication order makes
+//!   the crash a stop-the-world atomic transition without any
+//!   per-operation lock.
+//! * **Sharded persistency buffers.** Each machine's pending `AFlush`
+//!   set is sharded by location, so asynchronous flushes from unrelated
+//!   threads stop serializing on one mutex and `Barrier` drains shard by
+//!   shard.
+//!
 //! ## Crashes
 //!
-//! `crash(m)` stops the world (write-locks every machine's operation
-//! lock), wipes machine `m`'s cache entries and (if volatile) its memory,
-//! then marks `m` crashed. Threads "running on" `m` observe [`Crashed`]
-//! from their next operation and must stop; `recover(m)` readmits the
-//! machine with fresh threads. Stopping the world makes the crash a
-//! single atomic transition, as in the model.
+//! `crash(m)` stops the world (halts the epoch gate and waits for every
+//! in-flight operation to drain), wipes machine `m`'s cache entries and
+//! (if volatile) its memory, then marks `m` crashed and reopens the
+//! gate. Threads "running on" `m` observe [`Crashed`] from their next
+//! operation and must stop; `recover(m)` readmits the machine with fresh
+//! threads. Stopping the world makes the crash a single atomic
+//! transition, as in the model.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use cxl0_model::{Loc, MachineId, MemoryKind, ModelVariant, Primitive, StoreKind, SystemConfig};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::cost::CostModel;
 use crate::error::{Crashed, OpResult};
 
-/// Per-location sharded state: the model's `(C, M)` restricted to one
-/// location, exploiting the global cache invariant.
-#[derive(Debug, Default)]
-struct LocState {
-    /// Bitmask of machines whose cache holds the (unique) cached value.
-    holders: u64,
-    /// The cached value; meaningful iff `holders != 0`.
-    cache_val: u64,
-    /// The owner's memory value.
-    mem_val: u64,
+/// Number of exclusive per-thread rails; threads beyond this many alive
+/// at once (or counters bumped from TLS teardown) share one overflow
+/// rail that falls back to atomic read-modify-writes.
+const RAIL_SLOTS: usize = 256;
+
+/// Operation classes tracked by [`Stats`], in counter order.
+#[derive(Debug, Clone, Copy)]
+enum OpClass {
+    Loads = 0,
+    LStores = 1,
+    RStores = 2,
+    MStores = 3,
+    LFlushes = 4,
+    RFlushes = 5,
+    Rmws = 6,
+    AFlushes = 7,
+    Barriers = 8,
 }
 
-/// Operation counters, per primitive class.
-#[derive(Debug, Default)]
+const OP_CLASSES: usize = 9;
+
+/// Leased process-wide thread slots: a live thread holds a unique slot
+/// id for its lifetime and returns it on exit, so slot ids stay bounded
+/// by the *concurrent* thread count and exclusive rails stay exclusive.
+static NEXT_TID: AtomicUsize = AtomicUsize::new(0);
+static FREE_TIDS: std::sync::Mutex<Vec<usize>> = std::sync::Mutex::new(Vec::new());
+
+struct TidLease(usize);
+
+impl Drop for TidLease {
+    fn drop(&mut self) {
+        // From here on this thread must use the overflow rail: its slot
+        // id is about to be handed to some other thread.
+        let _ = RAIL_INDEX.try_with(|c| c.set(RAIL_SLOTS));
+        if let Ok(mut free) = FREE_TIDS.lock() {
+            free.push(self.0);
+        }
+    }
+}
+
+thread_local! {
+    /// Hot-path cache of the rail index: const-initialized (no lazy-init
+    /// branch or destructor on the access path). `usize::MAX` = not yet
+    /// leased.
+    static RAIL_INDEX: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    /// The slot lease backing [`RAIL_INDEX`]; touched once per thread.
+    static TID: TidLease = TidLease(
+        FREE_TIDS
+            .lock()
+            .ok()
+            .and_then(|mut free| free.pop())
+            .unwrap_or_else(|| NEXT_TID.fetch_add(1, Ordering::Relaxed)),
+    );
+}
+
+#[cold]
+fn lease_rail_index(cache: &std::cell::Cell<usize>) -> usize {
+    let idx = TID.try_with(|t| t.0.min(RAIL_SLOTS)).unwrap_or(RAIL_SLOTS);
+    cache.set(idx);
+    idx
+}
+
+/// The current thread's rail index; the overflow rail during TLS
+/// teardown or when more than [`RAIL_SLOTS`] threads are alive.
+fn current_rail_index() -> usize {
+    RAIL_INDEX
+        .try_with(|c| {
+            let idx = c.get();
+            if idx != usize::MAX {
+                idx
+            } else {
+                lease_rail_index(c)
+            }
+        })
+        .unwrap_or(RAIL_SLOTS)
+}
+
+/// One cache-line-padded counter stripe: the active-op gate plus the
+/// per-class operation counters and simulated time of (usually) one
+/// thread. Coupling the gate with the counters means one operation
+/// touches one thread-private line for all its bookkeeping.
+#[repr(align(128))]
+#[derive(Debug)]
+struct Rail {
+    /// In-flight operations published through this rail (the epoch
+    /// gate). Published with sequentially consistent stores so
+    /// [`SimFabric::crash`] can drain reliably.
+    active: AtomicU64,
+    /// Simulated nanoseconds accumulated through this rail.
+    sim_ns: AtomicU64,
+    /// Per-[`OpClass`] operation counts.
+    counts: [AtomicU64; OP_CLASSES],
+    /// Overflow rails may be written by several threads at once and must
+    /// use atomic read-modify-writes; exclusive rails use cheaper plain
+    /// load + store pairs.
+    shared: bool,
+}
+
+impl Rail {
+    fn new(shared: bool) -> Self {
+        Rail {
+            active: AtomicU64::new(0),
+            sim_ns: AtomicU64::new(0),
+            counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            shared,
+        }
+    }
+
+    /// Publishes one more in-flight operation. Operations must not
+    /// nest: an op issued while the same thread already holds an
+    /// `OpGuard` would deadlock against a concurrent `crash()` (the
+    /// inner `enter()` backs off to active=1 and waits for the reopen,
+    /// while the drain waits for active=0). No fabric op calls another
+    /// fabric op internally.
+    fn begin(&self) {
+        if self.shared {
+            self.active.fetch_add(1, Ordering::SeqCst);
+        } else {
+            let n = self.active.load(Ordering::Relaxed);
+            self.active.store(n + 1, Ordering::SeqCst);
+        }
+    }
+
+    /// Retires one in-flight operation.
+    fn end(&self) {
+        if self.shared {
+            self.active.fetch_sub(1, Ordering::Release);
+        } else {
+            let n = self.active.load(Ordering::Relaxed);
+            self.active.store(n - 1, Ordering::Release);
+        }
+    }
+
+    /// Records one operation of `class` costing `ns` simulated time.
+    fn bump(&self, class: OpClass, ns: u64) {
+        if self.shared {
+            self.counts[class as usize].fetch_add(1, Ordering::Relaxed);
+            if ns > 0 {
+                self.sim_ns.fetch_add(ns, Ordering::Relaxed);
+            }
+        } else {
+            let c = &self.counts[class as usize];
+            c.store(c.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+            if ns > 0 {
+                let s = self.sim_ns.load(Ordering::Relaxed);
+                self.sim_ns.store(s + ns, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Operation counters and simulated time, striped over
+/// cache-line-padded per-thread rails (see the module header). Totals
+/// are aggregated on demand; individual per-thread stripes are not part
+/// of the public API.
+#[derive(Debug)]
 pub struct Stats {
-    /// Loads issued.
-    pub loads: AtomicU64,
-    /// `LStore`s issued.
-    pub lstores: AtomicU64,
-    /// `RStore`s issued.
-    pub rstores: AtomicU64,
-    /// `MStore`s issued.
-    pub mstores: AtomicU64,
-    /// `LFlush`es issued.
-    pub lflushes: AtomicU64,
-    /// `RFlush`es issued.
-    pub rflushes: AtomicU64,
-    /// RMWs issued (all strengths, successful or failed).
-    pub rmws: AtomicU64,
-    /// Asynchronous flush requests issued (`CXL0_AF` extension).
-    pub aflushes: AtomicU64,
-    /// Barriers issued (`CXL0_AF` extension).
-    pub barriers: AtomicU64,
-    /// Simulated nanoseconds accumulated under the [`CostModel`].
-    pub sim_ns: AtomicU64,
+    /// `rails[RAIL_SLOTS]` is the shared overflow rail.
+    rails: Box<[Rail]>,
+}
+
+impl Default for Stats {
+    fn default() -> Self {
+        Stats {
+            rails: (0..=RAIL_SLOTS)
+                .map(|i| Rail::new(i == RAIL_SLOTS))
+                .collect(),
+        }
+    }
 }
 
 impl Stats {
-    /// Total number of primitive operations recorded.
+    fn rail(&self) -> &Rail {
+        &self.rails[current_rail_index()]
+    }
+
+    /// Spins until no operation is in flight on any rail. Callers must
+    /// have blocked new entries first (the halted flag), or this may
+    /// never terminate.
+    fn await_quiescent(&self) {
+        for rail in self.rails.iter() {
+            spin_until(|| (rail.active.load(Ordering::SeqCst) == 0).then_some(()));
+        }
+    }
+
+    /// Total number of primitive operations recorded, *including* the
+    /// `CXL0_AF` extension's asynchronous flush requests and barriers.
+    /// See [`Stats::total_sync_ops`] for the synchronous core only.
     pub fn total_ops(&self) -> u64 {
-        self.loads.load(Ordering::Relaxed)
-            + self.lstores.load(Ordering::Relaxed)
-            + self.rstores.load(Ordering::Relaxed)
-            + self.mstores.load(Ordering::Relaxed)
-            + self.lflushes.load(Ordering::Relaxed)
-            + self.rflushes.load(Ordering::Relaxed)
-            + self.rmws.load(Ordering::Relaxed)
+        self.snapshot().total_ops()
+    }
+
+    /// Number of synchronous primitives recorded (loads, stores, flushes
+    /// and RMWs) — excludes `AFlush` requests and `Barrier`s, which are
+    /// counted separately because one barrier retires many requests.
+    pub fn total_sync_ops(&self) -> u64 {
+        self.snapshot().total_sync_ops()
     }
 
     /// Simulated time accumulated, in nanoseconds.
     pub fn sim_nanos(&self) -> u64 {
-        self.sim_ns.load(Ordering::Relaxed)
+        self.rails
+            .iter()
+            .map(|r| r.sim_ns.load(Ordering::Relaxed))
+            .sum()
     }
 
-    /// A plain-data snapshot of the counters.
+    /// A plain-data snapshot of the counters, aggregated across all
+    /// stripes in a single pass over the rail slab.
     pub fn snapshot(&self) -> StatsSnapshot {
+        let mut counts = [0u64; OP_CLASSES];
+        let mut sim_ns = 0u64;
+        for rail in self.rails.iter() {
+            for (total, slot) in counts.iter_mut().zip(rail.counts.iter()) {
+                *total += slot.load(Ordering::Relaxed);
+            }
+            sim_ns += rail.sim_ns.load(Ordering::Relaxed);
+        }
         StatsSnapshot {
-            loads: self.loads.load(Ordering::Relaxed),
-            lstores: self.lstores.load(Ordering::Relaxed),
-            rstores: self.rstores.load(Ordering::Relaxed),
-            mstores: self.mstores.load(Ordering::Relaxed),
-            lflushes: self.lflushes.load(Ordering::Relaxed),
-            rflushes: self.rflushes.load(Ordering::Relaxed),
-            rmws: self.rmws.load(Ordering::Relaxed),
-            aflushes: self.aflushes.load(Ordering::Relaxed),
-            barriers: self.barriers.load(Ordering::Relaxed),
-            sim_ns: self.sim_ns.load(Ordering::Relaxed),
+            loads: counts[OpClass::Loads as usize],
+            lstores: counts[OpClass::LStores as usize],
+            rstores: counts[OpClass::RStores as usize],
+            mstores: counts[OpClass::MStores as usize],
+            lflushes: counts[OpClass::LFlushes as usize],
+            rflushes: counts[OpClass::RFlushes as usize],
+            rmws: counts[OpClass::Rmws as usize],
+            aflushes: counts[OpClass::AFlushes as usize],
+            barriers: counts[OpClass::Barriers as usize],
+            sim_ns,
         }
     }
 }
@@ -137,8 +334,14 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
-    /// Total primitives.
+    /// Total primitives, *including* asynchronous flush requests and
+    /// barriers. See [`StatsSnapshot::total_sync_ops`].
     pub fn total_ops(&self) -> u64 {
+        self.total_sync_ops() + self.aflushes + self.barriers
+    }
+
+    /// Synchronous primitives only (loads, stores, flushes, RMWs).
+    pub fn total_sync_ops(&self) -> u64 {
         self.loads
             + self.lstores
             + self.rstores
@@ -146,8 +349,6 @@ impl StatsSnapshot {
             + self.lflushes
             + self.rflushes
             + self.rmws
-            + self.aflushes
-            + self.barriers
     }
 
     /// Flushes of either kind (synchronous only; see
@@ -170,6 +371,235 @@ impl StatsSnapshot {
             barriers: self.barriers - earlier.barriers,
             sim_ns: self.sim_ns - earlier.sim_ns,
         }
+    }
+}
+
+/// One location's model state `(holders bitmask, cached value, memory
+/// value)` as a cache-line-aligned sequence-locked record of atomics.
+///
+/// The sequence word doubles as the writer lock (odd = locked). Mutating
+/// rules hold the writer lock; read-only rules take an optimistic
+/// snapshot validated against the sequence word, paying no atomic
+/// read-modify-write. All field accesses are atomics, so the seqlock is
+/// race-free by construction (no torn reads are possible, only
+/// inconsistent snapshots, which validation discards).
+#[repr(align(64))]
+#[derive(Debug)]
+struct LocCell {
+    seq: AtomicU64,
+    holders: AtomicU64,
+    cache_val: AtomicU64,
+    mem_val: AtomicU64,
+}
+
+/// Spins until `attempt` yields a value, backing off to a scheduler
+/// yield periodically — essential on single-core hosts, where pure
+/// spinning would burn the whole timeslice the lock holder needs.
+fn spin_until<T>(mut attempt: impl FnMut() -> Option<T>) -> T {
+    let mut spins = 0u32;
+    loop {
+        if let Some(v) = attempt() {
+            return v;
+        }
+        spins += 1;
+        if spins.is_multiple_of(64) {
+            std::thread::yield_now();
+        } else {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+impl LocCell {
+    fn new() -> Self {
+        LocCell {
+            seq: AtomicU64::new(0),
+            holders: AtomicU64::new(0),
+            cache_val: AtomicU64::new(0),
+            mem_val: AtomicU64::new(0),
+        }
+    }
+
+    /// Acquires the writer lock.
+    fn lock(&self) -> CellGuard<'_> {
+        spin_until(|| {
+            let s = self.seq.load(Ordering::Relaxed);
+            if s & 1 == 0
+                && self
+                    .seq
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+            {
+                Some(CellGuard {
+                    cell: self,
+                    unlocked_seq: s + 2,
+                })
+            } else {
+                None
+            }
+        })
+    }
+
+    /// An optimistic consistent snapshot `(holders, cache_val, mem_val)`
+    /// (the canonical seqlock read protocol).
+    fn read(&self) -> (u64, u64, u64) {
+        spin_until(|| {
+            let s1 = self.seq.load(Ordering::Acquire);
+            if s1 & 1 == 0 {
+                let h = self.holders.load(Ordering::Relaxed);
+                let c = self.cache_val.load(Ordering::Relaxed);
+                let m = self.mem_val.load(Ordering::Relaxed);
+                fence(Ordering::Acquire);
+                if self.seq.load(Ordering::Relaxed) == s1 {
+                    return Some((h, c, m));
+                }
+            }
+            None
+        })
+    }
+}
+
+/// Writer-lock guard over one [`LocCell`]. Field loads may be relaxed
+/// (the lock's acquire edge orders them); field *stores* are `Release`
+/// so the odd sequence word written by the lock CAS is visible before
+/// any field mutation — without that, a weakly-ordered machine could
+/// publish a field store ahead of the seq-odd store and let an
+/// optimistic reader validate a torn snapshot against the stale even
+/// sequence value. (`Release` stores are free on x86.)
+struct CellGuard<'a> {
+    cell: &'a LocCell,
+    unlocked_seq: u64,
+}
+
+impl CellGuard<'_> {
+    fn holders(&self) -> u64 {
+        self.cell.holders.load(Ordering::Relaxed)
+    }
+
+    fn set_holders(&self, v: u64) {
+        self.cell.holders.store(v, Ordering::Release);
+    }
+
+    fn cache_val(&self) -> u64 {
+        self.cell.cache_val.load(Ordering::Relaxed)
+    }
+
+    fn set_cache_val(&self, v: u64) {
+        self.cell.cache_val.store(v, Ordering::Release);
+    }
+
+    fn mem_val(&self) -> u64 {
+        self.cell.mem_val.load(Ordering::Relaxed)
+    }
+
+    fn set_mem_val(&self, v: u64) {
+        self.cell.mem_val.store(v, Ordering::Release);
+    }
+
+    /// The value a load observes: the unique cached value if one exists,
+    /// the owner's memory value otherwise.
+    fn visible(&self) -> u64 {
+        if self.holders() != 0 {
+            self.cache_val()
+        } else {
+            self.mem_val()
+        }
+    }
+
+    /// `Propagate-C-M`/drain: cached value (if any) to memory.
+    fn drain(&self) {
+        if self.holders() != 0 {
+            self.set_mem_val(self.cache_val());
+            self.set_holders(0);
+        }
+    }
+}
+
+impl Drop for CellGuard<'_> {
+    fn drop(&mut self) {
+        self.cell.seq.store(self.unlocked_seq, Ordering::Release);
+    }
+}
+
+/// The crash gate's read-mostly control line: a halted flag (nonzero
+/// while a crash is draining in-flight operations) and the bitmask of
+/// crashed machines.
+#[repr(align(64))]
+#[derive(Debug)]
+struct CrashWord {
+    halted: AtomicU64,
+    crashed: AtomicU64,
+}
+
+/// Shards per machine of the pending-`AFlush` buffer; one mutexed set
+/// per shard so unrelated threads stop serializing.
+const PENDING_SHARDS: usize = 8;
+
+/// Each shard is a sorted, deduplicated `Vec` (binary-search insert):
+/// for the shard sizes a barrier window produces this beats a B-tree set
+/// — no per-entry node allocation, and `clear()` retains capacity so the
+/// steady state allocates nothing at all. The `nonempty` bitmask (bit
+/// per shard) lets `Barrier` visit only occupied shards, so the
+/// barrier-per-store pattern (`FlitAsync`) pays one shard lock, and an
+/// empty barrier pays none.
+#[derive(Debug)]
+struct PendingBuf {
+    nonempty: AtomicU64,
+    shards: [Mutex<Vec<Loc>>; PENDING_SHARDS],
+}
+
+impl PendingBuf {
+    fn new() -> Self {
+        PendingBuf {
+            nonempty: AtomicU64::new(0),
+            shards: std::array::from_fn(|_| Mutex::new(Vec::new())),
+        }
+    }
+
+    fn insert(&self, loc: Loc) {
+        let s = loc.addr.index() % PENDING_SHARDS;
+        let mut set = self.shards[s].lock();
+        let was_empty = set.is_empty();
+        if let Err(at) = set.binary_search(&loc) {
+            set.insert(at, loc);
+            if was_empty {
+                self.nonempty.fetch_or(1u64 << s, Ordering::Release);
+            }
+        }
+    }
+
+    /// Retires every request shard by shard, calling `f` for each
+    /// pending location and clearing as it goes; returns the number
+    /// retired. Shard-at-a-time draining means a concurrent insert into
+    /// a not-yet-visited shard may or may not be included — exactly the
+    /// guarantee a concurrent insert had against the old single-mutex
+    /// buffer.
+    fn retire(&self, mut f: impl FnMut(Loc)) -> usize {
+        let mut mask = self.nonempty.swap(0, Ordering::AcqRel);
+        let mut retired = 0;
+        while mask != 0 {
+            let s = mask.trailing_zeros() as usize;
+            mask &= mask - 1;
+            let mut set = self.shards[s].lock();
+            for &loc in set.iter() {
+                f(loc);
+            }
+            retired += set.len();
+            set.clear();
+        }
+        retired
+    }
+
+    fn clear(&self) {
+        // Only called with the world stopped (no concurrent inserts).
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.nonempty.store(0, Ordering::Release);
+    }
+
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 }
 
@@ -196,14 +626,21 @@ impl StatsSnapshot {
 pub struct SimFabric {
     cfg: SystemConfig,
     variant: ModelVariant,
-    /// `locs[m][a]` guards the state of `Loc::new(m, a)`.
-    locs: Vec<Vec<Mutex<LocState>>>,
-    /// Per-machine operation locks: ops take `read`, crash takes `write`.
-    op_locks: Vec<RwLock<()>>,
-    crashed: Vec<AtomicBool>,
-    /// Per-machine persistency buffers of pending `AFlush` requests
-    /// (`CXL0_AF` extension; cleared by a crash of the machine).
-    pending: Vec<Mutex<std::collections::BTreeSet<Loc>>>,
+    /// Flat slab of every machine's location cells;
+    /// `cells[extents[m].0 + a]` guards the state of `Loc::new(m, a)`.
+    cells: Box<[LocCell]>,
+    /// Per-machine `(base offset, location count)` into `cells`. The
+    /// count bounds-checks addresses per machine — without it an
+    /// out-of-range address would silently alias the next machine's
+    /// cells instead of panicking like the old nested-`Vec` indexing.
+    extents: Vec<(usize, u32)>,
+    /// The epoch crash gate's control line.
+    crash_word: CrashWord,
+    /// Serializes concurrent `crash()` calls.
+    crash_lock: Mutex<()>,
+    /// Per-machine sharded persistency buffers of pending `AFlush`
+    /// requests (`CXL0_AF` extension; cleared by a crash of the machine).
+    pending: Vec<PendingBuf>,
     stats: Stats,
     cost: CostModel,
 }
@@ -222,25 +659,25 @@ impl SimFabric {
     /// Panics if `cfg` has more than 64 machines (the holder bitmask).
     pub fn with_options(cfg: SystemConfig, variant: ModelVariant, cost: CostModel) -> Arc<Self> {
         assert!(cfg.num_machines() <= 64, "at most 64 machines supported");
-        let locs = cfg
-            .machines()
-            .map(|m| {
-                (0..cfg.machine(m).locations)
-                    .map(|_| Mutex::new(LocState::default()))
-                    .collect()
-            })
-            .collect();
+        let mut extents = Vec::with_capacity(cfg.num_machines());
+        let mut total = 0usize;
+        for m in cfg.machines() {
+            let locations = cfg.machine(m).locations;
+            extents.push((total, locations));
+            total += locations as usize;
+        }
+        let cells = (0..total).map(|_| LocCell::new()).collect();
         Arc::new(SimFabric {
-            op_locks: (0..cfg.num_machines()).map(|_| RwLock::new(())).collect(),
-            crashed: (0..cfg.num_machines())
-                .map(|_| AtomicBool::new(false))
-                .collect(),
-            pending: (0..cfg.num_machines())
-                .map(|_| Mutex::new(std::collections::BTreeSet::new()))
-                .collect(),
+            crash_word: CrashWord {
+                halted: AtomicU64::new(0),
+                crashed: AtomicU64::new(0),
+            },
+            crash_lock: Mutex::new(()),
+            pending: (0..cfg.num_machines()).map(|_| PendingBuf::new()).collect(),
             cfg,
             variant,
-            locs,
+            cells,
+            extents,
             stats: Stats::default(),
             cost,
         })
@@ -276,19 +713,19 @@ impl SimFabric {
 
     /// True if machine `m` is currently crashed.
     pub fn is_crashed(&self, m: MachineId) -> bool {
-        self.crashed[m.index()].load(Ordering::Acquire)
+        self.crash_word.crashed.load(Ordering::Acquire) & (1u64 << m.index()) != 0
     }
 
-    fn loc_state(&self, loc: Loc) -> &Mutex<LocState> {
-        &self.locs[loc.owner.index()][loc.addr.index()]
-    }
-
-    fn charge(&self, p: Primitive, by: MachineId, loc: Loc) {
-        let local = by == loc.owner;
-        let ns = self.cost.cost(p, local);
-        if ns > 0 {
-            self.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        }
+    fn cell(&self, loc: Loc) -> &LocCell {
+        let (base, count) = self.extents[loc.owner.index()];
+        assert!(
+            loc.addr.index() < count as usize,
+            "address {} out of range for machine {} ({} locations)",
+            loc.addr.index(),
+            loc.owner,
+            count
+        );
+        &self.cells[base + loc.addr.index()]
     }
 
     /// Crashes machine `m`: stop-the-world, wipe `m`'s cache entries
@@ -296,31 +733,37 @@ impl SimFabric {
     /// that variant is in force. Machines in `m`'s failure domain crash
     /// together. Idempotent.
     pub fn crash(&self, m: MachineId) {
-        // Stop the world so the crash is one atomic transition.
-        let _guards: Vec<_> = self.op_locks.iter().map(|l| l.write()).collect();
+        // Stop the world so the crash is one atomic transition: halt the
+        // gate, then wait for every in-flight operation to retire.
+        let _serial = self.crash_lock.lock();
+        self.crash_word.halted.store(1, Ordering::SeqCst);
+        self.stats.await_quiescent();
         for d in self.cfg.failure_domain(m) {
-            self.crashed[d.index()].store(true, Ordering::Release);
+            self.crash_word
+                .crashed
+                .fetch_or(1u64 << d.index(), Ordering::SeqCst);
             // Un-retired asynchronous flush requests die with the machine.
-            self.pending[d.index()].lock().clear();
+            self.pending[d.index()].clear();
             let bit = 1u64 << d.index();
             for owner in self.cfg.machines() {
                 for a in 0..self.cfg.machine(owner).locations {
-                    let mut st = self.locs[owner.index()][a as usize].lock();
+                    let st = self.cells[self.extents[owner.index()].0 + a as usize].lock();
                     // The crashed machine's cache entries vanish.
-                    st.holders &= !bit;
+                    st.set_holders(st.holders() & !bit);
                     if owner == d {
                         if self.cfg.machine(d).memory == MemoryKind::Volatile {
-                            st.mem_val = 0;
+                            st.set_mem_val(0);
                         }
                         if self.variant == ModelVariant::Psn {
                             // Poison: every cache entry for a line owned by
                             // the crashed machine is invalidated.
-                            st.holders = 0;
+                            st.set_holders(0);
                         }
                     }
                 }
             }
         }
+        self.crash_word.halted.store(0, Ordering::SeqCst);
     }
 
     /// Recovers machine `m` (and its failure domain): new threads may run
@@ -328,7 +771,9 @@ impl SimFabric {
     /// crash left (NVM kept, volatile zeroed).
     pub fn recover(&self, m: MachineId) {
         for d in self.cfg.failure_domain(m) {
-            self.crashed[d.index()].store(false, Ordering::Release);
+            self.crash_word
+                .crashed
+                .fetch_and(!(1u64 << d.index()), Ordering::SeqCst);
         }
     }
 
@@ -343,22 +788,20 @@ impl SimFabric {
         }
         for _ in 0..n {
             let loc = locs[rng.gen_range(0..locs.len())];
-            let mut st = self.loc_state(loc).lock();
-            if st.holders == 0 {
+            let st = self.cell(loc).lock();
+            if st.holders() == 0 {
                 continue;
             }
             let owner_bit = 1u64 << loc.owner.index();
-            if st.holders & owner_bit != 0 && rng.gen_bool(0.5) {
+            if st.holders() & owner_bit != 0 && rng.gen_bool(0.5) {
                 // Propagate-C-M: owner's cache → owner's memory.
-                st.mem_val = st.cache_val;
-                st.holders = 0;
+                st.drain();
             } else {
                 // Propagate-C-C: a random non-owner holder → owner.
-                let others = st.holders & !owner_bit;
+                let others = st.holders() & !owner_bit;
                 if others != 0 {
                     let idx = pick_bit(others, &mut rng);
-                    st.holders &= !(1u64 << idx);
-                    st.holders |= owner_bit;
+                    st.set_holders((st.holders() & !(1u64 << idx)) | owner_bit);
                 }
             }
         }
@@ -367,11 +810,10 @@ impl SimFabric {
     /// Drains every cache to memory (the state change a successful `GPF`
     /// waits for). Exposed for orderly-shutdown scenarios.
     pub fn drain_all(&self) {
-        for loc in self.cfg.all_locations() {
-            let mut st = self.loc_state(loc).lock();
-            if st.holders != 0 {
-                st.mem_val = st.cache_val;
-                st.holders = 0;
+        for cell in self.cells.iter() {
+            // Cheap optimistic skip: most cells are uncached.
+            if cell.read().0 != 0 {
+                cell.lock().drain();
             }
         }
     }
@@ -380,18 +822,18 @@ impl SimFabric {
     /// "post-crash recovery inspection" view, bypassing caches. Intended
     /// for tests and recovery assertions, not for algorithm code.
     pub fn peek_memory(&self, loc: Loc) -> u64 {
-        self.loc_state(loc).lock().mem_val
+        self.cell(loc).read().2
     }
 
     /// True if some cache currently holds `loc`.
     pub fn is_cached(&self, loc: Loc) -> bool {
-        self.loc_state(loc).lock().holders != 0
+        self.cell(loc).read().0 != 0
     }
 
     /// Number of un-retired `AFlush` requests in machine `m`'s persistency
     /// buffer (`CXL0_AF` extension).
     pub fn pending_flushes(&self, m: MachineId) -> usize {
-        self.pending[m.index()].lock().len()
+        self.pending[m.index()].len()
     }
 }
 
@@ -428,6 +870,25 @@ impl<T: AsNode + ?Sized> AsNode for &T {
     }
 }
 
+/// In-flight-operation guard: entry through the epoch gate plus the
+/// issuing thread's rail, through which the operation records its class
+/// and simulated cost.
+struct OpGuard<'a> {
+    rail: &'a Rail,
+}
+
+impl OpGuard<'_> {
+    fn charge(&self, class: OpClass, ns: u64) {
+        self.rail.bump(class, ns);
+    }
+}
+
+impl Drop for OpGuard<'_> {
+    fn drop(&mut self) {
+        self.rail.end();
+    }
+}
+
 /// A per-machine handle: the operations a thread running on that machine
 /// may issue. Cloning is cheap (an `Arc` bump).
 #[derive(Debug, Clone)]
@@ -447,14 +908,46 @@ impl NodeHandle {
         &self.fabric
     }
 
-    fn enter(&self) -> OpResult<parking_lot::RwLockReadGuard<'_, ()>> {
-        let guard = self.fabric.op_locks[self.machine.index()].read();
-        if self.fabric.crashed[self.machine.index()].load(Ordering::Acquire) {
-            return Err(Crashed {
-                machine: self.machine,
-            });
+    /// Enters the epoch gate: publish the in-flight operation, then check
+    /// the crash word — `halted` strictly **before** `crashed`. The
+    /// sequentially consistent publish/check order against `crash()`'s
+    /// halt/drain order guarantees (Dekker-style) that a crash either
+    /// sees this operation and waits for it, or this operation sees the
+    /// halt and backs off. The check order matters: reading
+    /// `halted == 0` proves this publication either precedes the halt
+    /// (so the drain waits for us and the op linearizes before the
+    /// crash) or follows the reopen — and in the latter case the
+    /// `crashed` bits, stored before the reopen, are guaranteed visible
+    /// to the subsequent check. Checking `crashed` first would leave a
+    /// window where an op threads between the drain and the bit
+    /// publication and mutates a just-crashed machine.
+    fn enter(&self) -> OpResult<OpGuard<'_>> {
+        let fabric = &*self.fabric;
+        let rail = fabric.stats.rail();
+        let m_bit = 1u64 << self.machine.index();
+        loop {
+            rail.begin();
+            if fabric.crash_word.halted.load(Ordering::SeqCst) != 0 {
+                // A crash is draining: retire our publication and wait
+                // for the gate to reopen.
+                rail.end();
+                spin_until(|| {
+                    (fabric.crash_word.halted.load(Ordering::Acquire) == 0).then_some(())
+                });
+                continue;
+            }
+            if fabric.crash_word.crashed.load(Ordering::SeqCst) & m_bit != 0 {
+                rail.end();
+                return Err(Crashed {
+                    machine: self.machine,
+                });
+            }
+            return Ok(OpGuard { rail });
         }
-        Ok(guard)
+    }
+
+    fn op_cost(&self, p: Primitive, loc: Loc) -> u64 {
+        self.fabric.cost.cost(p, self.machine == loc.owner)
     }
 
     /// `Load`: returns the value visible at `loc`.
@@ -463,34 +956,84 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn load(&self, loc: Loc) -> OpResult<u64> {
-        let _g = self.enter()?;
-        self.fabric.stats.loads.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::Load, self.machine, loc);
+        // Gateless read-only fast path: a load that needs no state
+        // change (LOAD-from-M, or an own-cache hit) linearizes at its
+        // seqlock-consistent snapshot, so it skips the epoch gate — it
+        // only records its cost and validates the crash word *after*
+        // taking the snapshot. The post-snapshot check is what makes
+        // this sound: if the snapshot observed any effect of a crash,
+        // the cell's release unlock synchronizes the crasher's earlier
+        // halted/crashed stores into this thread, so the check is
+        // guaranteed to see them and divert to the gated slow path
+        // (which waits out the drain and reports `Crashed`). A clean
+        // check therefore proves the snapshot is linearizable strictly
+        // before any in-flight crash — including the windows where this
+        // thread is descheduled around the snapshot while a whole crash
+        // (or a crash of another location's wipe) runs to completion.
+        let fabric = &*self.fabric;
         let bit = 1u64 << self.machine.index();
-        let mut st = self.fabric.loc_state(loc).lock();
+        {
+            let (h, c, m) = fabric.cell(loc).read();
+            let hit = match fabric.variant {
+                ModelVariant::Base | ModelVariant::Psn => {
+                    if h == 0 {
+                        Some(m) // LOAD-from-M (no copy)
+                    } else if h & bit != 0 {
+                        Some(c) // already a holder: the copy is a no-op
+                    } else {
+                        None
+                    }
+                }
+                ModelVariant::Lwb => {
+                    if h & bit != 0 {
+                        Some(c) // own-cache hit
+                    } else if h == 0 {
+                        Some(m)
+                    } else {
+                        None
+                    }
+                }
+            };
+            // `halted` before `crashed`, as in `enter()`: a clean halted
+            // read either proves the snapshot precedes any in-flight
+            // crash, or follows a reopen whose earlier `crashed` stores
+            // the second check is then guaranteed to observe.
+            if let Some(v) = hit {
+                if fabric.crash_word.halted.load(Ordering::SeqCst) == 0
+                    && fabric.crash_word.crashed.load(Ordering::SeqCst) & bit == 0
+                {
+                    fabric
+                        .stats
+                        .rail()
+                        .bump(OpClass::Loads, self.op_cost(Primitive::Load, loc));
+                    return Ok(v);
+                }
+            }
+        }
+        let g = self.enter()?;
+        g.charge(OpClass::Loads, self.op_cost(Primitive::Load, loc));
+        let cell = self.fabric.cell(loc);
         match self.fabric.variant {
             ModelVariant::Base | ModelVariant::Psn => {
-                if st.holders != 0 {
+                let st = cell.lock();
+                if st.holders() != 0 {
                     // LOAD-from-C: copy into the issuer's cache.
-                    st.holders |= bit;
-                    Ok(st.cache_val)
+                    st.set_holders(st.holders() | bit);
+                    Ok(st.cache_val())
                 } else {
                     // LOAD-from-M (no copy).
-                    Ok(st.mem_val)
+                    Ok(st.mem_val())
                 }
             }
             ModelVariant::Lwb => {
-                if st.holders & bit != 0 {
-                    // Own-cache hit.
-                    Ok(st.cache_val)
+                let st = cell.lock();
+                if st.holders() & bit != 0 {
+                    Ok(st.cache_val())
                 } else {
-                    if st.holders != 0 {
-                        // Blocking until the line drains to memory ≡ force
-                        // the drain, then read memory.
-                        st.mem_val = st.cache_val;
-                        st.holders = 0;
-                    }
-                    Ok(st.mem_val)
+                    // Blocking until the line drains to memory ≡ force
+                    // the drain, then read memory.
+                    st.drain();
+                    Ok(st.mem_val())
                 }
             }
         }
@@ -502,12 +1045,11 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn lstore(&self, loc: Loc, v: u64) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.lstores.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::LStore, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        st.cache_val = v;
-        st.holders = 1u64 << self.machine.index();
+        let g = self.enter()?;
+        g.charge(OpClass::LStores, self.op_cost(Primitive::LStore, loc));
+        let st = self.fabric.cell(loc).lock();
+        st.set_cache_val(v);
+        st.set_holders(1u64 << self.machine.index());
         Ok(())
     }
 
@@ -517,12 +1059,11 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn rstore(&self, loc: Loc, v: u64) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.rstores.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::RStore, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        st.cache_val = v;
-        st.holders = 1u64 << loc.owner.index();
+        let g = self.enter()?;
+        g.charge(OpClass::RStores, self.op_cost(Primitive::RStore, loc));
+        let st = self.fabric.cell(loc).lock();
+        st.set_cache_val(v);
+        st.set_holders(1u64 << loc.owner.index());
         Ok(())
     }
 
@@ -532,12 +1073,11 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn mstore(&self, loc: Loc, v: u64) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.mstores.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::MStore, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        st.mem_val = v;
-        st.holders = 0;
+        let g = self.enter()?;
+        g.charge(OpClass::MStores, self.op_cost(Primitive::MStore, loc));
+        let st = self.fabric.cell(loc).lock();
+        st.set_mem_val(v);
+        st.set_holders(0);
         Ok(())
     }
 
@@ -562,20 +1102,23 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn lflush(&self, loc: Loc) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.lflushes.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::LFlush, self.machine, loc);
+        let g = self.enter()?;
+        g.charge(OpClass::LFlushes, self.op_cost(Primitive::LFlush, loc));
         let bit = 1u64 << self.machine.index();
+        let cell = self.fabric.cell(loc);
+        // Fast path: nothing of ours to flush.
+        if cell.read().0 & bit == 0 {
+            return Ok(());
+        }
         let owner_bit = 1u64 << loc.owner.index();
-        let mut st = self.fabric.loc_state(loc).lock();
-        if st.holders & bit != 0 {
+        let st = cell.lock();
+        if st.holders() & bit != 0 {
             if self.machine == loc.owner {
                 // Propagate-C-M.
-                st.mem_val = st.cache_val;
-                st.holders = 0;
+                st.drain();
             } else {
                 // Propagate-C-C toward the owner.
-                st.holders = (st.holders & !bit) | owner_bit;
+                st.set_holders((st.holders() & !bit) | owner_bit);
             }
         }
         Ok(())
@@ -587,14 +1130,14 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn rflush(&self, loc: Loc) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.rflushes.fetch_add(1, Ordering::Relaxed);
-        self.fabric.charge(Primitive::RFlush, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        if st.holders != 0 {
-            st.mem_val = st.cache_val;
-            st.holders = 0;
+        let g = self.enter()?;
+        g.charge(OpClass::RFlushes, self.op_cost(Primitive::RFlush, loc));
+        let cell = self.fabric.cell(loc);
+        // Fast path: an uncached line is already as persistent as it gets.
+        if cell.read().0 == 0 {
+            return Ok(());
         }
+        cell.lock().drain();
         Ok(())
     }
 
@@ -631,13 +1174,9 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn aflush(&self, loc: Loc) -> OpResult<()> {
-        let _g = self.enter()?;
-        self.fabric.stats.aflushes.fetch_add(1, Ordering::Relaxed);
-        let ns = self.fabric.cost.aflush_issue;
-        if ns > 0 {
-            self.fabric.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        }
-        self.fabric.pending[self.machine.index()].lock().insert(loc);
+        let g = self.enter()?;
+        g.charge(OpClass::AFlushes, self.fabric.cost.aflush_issue);
+        self.fabric.pending[self.machine.index()].insert(loc);
         Ok(())
     }
 
@@ -653,24 +1192,24 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn barrier(&self) -> OpResult<usize> {
-        let _g = self.enter()?;
-        self.fabric.stats.barriers.fetch_add(1, Ordering::Relaxed);
-        let drained = std::mem::take(&mut *self.fabric.pending[self.machine.index()].lock());
-        let mut line_costs = Vec::with_capacity(drained.len());
-        for &loc in &drained {
-            let mut st = self.fabric.loc_state(loc).lock();
-            if st.holders != 0 {
-                st.mem_val = st.cache_val;
-                st.holders = 0;
+        let g = self.enter()?;
+        // Streaming equivalent of `CostModel::barrier_cost` over the
+        // per-line full-RFlush costs: track the slowest line and the
+        // count instead of collecting a vector.
+        let mut max_line = 0u64;
+        let retired = self.fabric.pending[self.machine.index()].retire(|loc| {
+            let cell = self.fabric.cell(loc);
+            if cell.read().0 != 0 {
+                cell.lock().drain();
             }
             let local = self.machine == loc.owner;
-            line_costs.push(self.fabric.cost.cost(Primitive::RFlush, local));
-        }
-        let ns = self.fabric.cost.barrier_cost(&line_costs);
-        if ns > 0 {
-            self.fabric.stats.sim_ns.fetch_add(ns, Ordering::Relaxed);
-        }
-        Ok(drained.len())
+            max_line = max_line.max(self.fabric.cost.cost(Primitive::RFlush, local));
+        });
+        g.charge(
+            OpClass::Barriers,
+            self.fabric.cost.barrier_cost_of(max_line, retired as u64),
+        );
+        Ok(retired)
     }
 
     /// Compare-and-swap with the given store strength: atomically loads
@@ -683,35 +1222,38 @@ impl NodeHandle {
     ///
     /// Fails with [`Crashed`] if this machine has crashed.
     pub fn cas(&self, kind: StoreKind, loc: Loc, old: u64, new: u64) -> OpResult<Result<u64, u64>> {
-        let _g = self.enter()?;
-        self.fabric.stats.rmws.fetch_add(1, Ordering::Relaxed);
+        let g = self.enter()?;
         let prim = match kind {
             StoreKind::Local => Primitive::LRmw,
             StoreKind::Remote => Primitive::RRmw,
             StoreKind::Memory => Primitive::MRmw,
         };
-        self.fabric.charge(prim, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        let visible = if st.holders != 0 {
-            st.cache_val
-        } else {
-            st.mem_val
-        };
+        g.charge(OpClass::Rmws, self.op_cost(prim, loc));
+        let cell = self.fabric.cell(loc);
+        // Fast path: a mismatched CAS is a plain load, which the
+        // optimistic snapshot already linearizes.
+        let (h, c, m) = cell.read();
+        let visible = if h != 0 { c } else { m };
+        if visible != old {
+            return Ok(Err(visible));
+        }
+        let st = cell.lock();
+        let visible = st.visible();
         if visible != old {
             return Ok(Err(visible));
         }
         match kind {
             StoreKind::Local => {
-                st.cache_val = new;
-                st.holders = 1u64 << self.machine.index();
+                st.set_cache_val(new);
+                st.set_holders(1u64 << self.machine.index());
             }
             StoreKind::Remote => {
-                st.cache_val = new;
-                st.holders = 1u64 << loc.owner.index();
+                st.set_cache_val(new);
+                st.set_holders(1u64 << loc.owner.index());
             }
             StoreKind::Memory => {
-                st.mem_val = new;
-                st.holders = 0;
+                st.set_mem_val(new);
+                st.set_holders(0);
             }
         }
         Ok(Ok(old))
@@ -724,33 +1266,28 @@ impl NodeHandle {
     ///
     /// Fails if this machine has crashed.
     pub fn faa(&self, kind: StoreKind, loc: Loc, delta: u64) -> OpResult<u64> {
-        let _g = self.enter()?;
-        self.fabric.stats.rmws.fetch_add(1, Ordering::Relaxed);
+        let g = self.enter()?;
         let prim = match kind {
             StoreKind::Local => Primitive::LRmw,
             StoreKind::Remote => Primitive::RRmw,
             StoreKind::Memory => Primitive::MRmw,
         };
-        self.fabric.charge(prim, self.machine, loc);
-        let mut st = self.fabric.loc_state(loc).lock();
-        let visible = if st.holders != 0 {
-            st.cache_val
-        } else {
-            st.mem_val
-        };
+        g.charge(OpClass::Rmws, self.op_cost(prim, loc));
+        let st = self.fabric.cell(loc).lock();
+        let visible = st.visible();
         let new = visible.wrapping_add(delta);
         match kind {
             StoreKind::Local => {
-                st.cache_val = new;
-                st.holders = 1u64 << self.machine.index();
+                st.set_cache_val(new);
+                st.set_holders(1u64 << self.machine.index());
             }
             StoreKind::Remote => {
-                st.cache_val = new;
-                st.holders = 1u64 << loc.owner.index();
+                st.set_cache_val(new);
+                st.set_holders(1u64 << loc.owner.index());
             }
             StoreKind::Memory => {
-                st.mem_val = new;
-                st.holders = 0;
+                st.set_mem_val(new);
+                st.set_holders(0);
             }
         }
         Ok(visible)
@@ -760,6 +1297,7 @@ impl NodeHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicBool;
 
     const M0: MachineId = MachineId(0);
     const M1: MachineId = MachineId(1);
@@ -915,7 +1453,23 @@ mod tests {
         assert_eq!(s.loads, 1);
         assert_eq!(s.rflushes, 1);
         assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.total_sync_ops(), 3);
         assert!(s.sim_ns > 0);
+    }
+
+    #[test]
+    fn total_ops_includes_async_extension_ops() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 1).unwrap();
+        n0.aflush(x(1, 0)).unwrap();
+        n0.barrier().unwrap();
+        // Stats and its snapshot agree, and both count the async ops.
+        assert_eq!(f.stats().total_ops(), 3);
+        assert_eq!(f.stats().total_sync_ops(), 1);
+        let s = f.stats().snapshot();
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.total_sync_ops(), 1);
     }
 
     #[test]
@@ -945,6 +1499,34 @@ mod tests {
         }
         let n = f.node(M0);
         assert_eq!(n.load(Loc::new(MachineId(0), 0)).unwrap(), 4000);
+    }
+
+    #[test]
+    fn concurrent_cas_contention_loses_no_update() {
+        // CAS's optimistic fast path must never let two winners through.
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 1));
+        let loc = Loc::new(M0, 0);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let node = f.node(MachineId(t % 2));
+            handles.push(std::thread::spawn(move || {
+                let mut wins = 0u64;
+                for _ in 0..2000 {
+                    let seen = node.load(loc).unwrap();
+                    if node
+                        .cas(StoreKind::Local, loc, seen, seen + 1)
+                        .unwrap()
+                        .is_ok()
+                    {
+                        wins += 1;
+                    }
+                }
+                wins
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        let n = f.node(M0);
+        assert_eq!(n.load(loc).unwrap(), total);
     }
 
     #[test]
@@ -1027,6 +1609,25 @@ mod tests {
     }
 
     #[test]
+    fn pending_buffer_shards_dedupe_and_drain_across_shards() {
+        // Locations spread over more addresses than shards: every one is
+        // tracked once and retired once.
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 64));
+        let n0 = f.node(M0);
+        for a in 0..40 {
+            n0.lstore(x(1, a), u64::from(a) + 1).unwrap();
+            n0.aflush(x(1, a)).unwrap();
+            n0.aflush(x(1, a)).unwrap(); // duplicate in the same shard
+        }
+        assert_eq!(f.pending_flushes(M0), 40);
+        assert_eq!(n0.barrier().unwrap(), 40);
+        assert_eq!(f.pending_flushes(M0), 0);
+        for a in 0..40 {
+            assert_eq!(f.peek_memory(x(1, a)), u64::from(a) + 1);
+        }
+    }
+
+    #[test]
     fn crash_during_concurrent_ops_is_atomic() {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 8));
         let stop = Arc::new(AtomicBool::new(false));
@@ -1051,5 +1652,44 @@ mod tests {
             h.join().unwrap();
         }
         assert!(f.is_crashed(M1));
+    }
+
+    #[test]
+    fn ops_on_other_machines_proceed_after_a_crash() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        let n1 = f.node(M1);
+        n0.mstore(x(0, 0), 3).unwrap();
+        f.crash(M1);
+        assert!(n1.load(x(1, 0)).is_err());
+        // The gate reopened for everyone else.
+        assert_eq!(n0.load(x(0, 0)).unwrap(), 3);
+        f.recover(M1);
+        assert_eq!(n1.load(x(1, 0)).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_address_panics_instead_of_aliasing() {
+        // The flat slab must preserve the nested-Vec behavior: a bad
+        // address panics rather than silently hitting the next
+        // machine's cells.
+        let f = fabric2(); // 4 locations per machine
+        let _ = f.node(M0).load(x(0, 7));
+    }
+
+    #[test]
+    fn crash_is_idempotent_and_serializable() {
+        let f = fabric2();
+        let n0 = f.node(M0);
+        n0.lstore(x(1, 0), 1).unwrap();
+        f.crash(M1);
+        f.crash(M1); // idempotent
+        f.crash(M0); // a second machine, while the first is down
+        assert!(f.is_crashed(M0));
+        assert!(f.is_crashed(M1));
+        f.recover(M0);
+        f.recover(M1);
+        assert_eq!(f.node(M0).load(x(0, 0)).unwrap(), 0);
     }
 }

@@ -37,6 +37,15 @@
 //!   the recorded value order matches the store order; `sync` should run
 //!   at operation boundaries (the op-count interval in `completeOp` does
 //!   this) so the cut is consistent.
+//!
+//! ## Lock order
+//!
+//! `sync_lock` → `slots` → `dirty`, always in that order, never holding
+//! a later lock while acquiring an earlier one. The flagged fast path
+//! takes `sync_lock` then records under `slots`/`dirty`; `sync` and
+//! `recover` take `sync_lock` for their whole critical section and
+//! acquire `slots` and `dirty` **once per batch** (a single
+//! `mem::take`/snapshot each), not once per tracked cell.
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -216,26 +225,24 @@ impl BufferedEpoch {
     /// state remains intact in that case.
     pub fn sync(&self, node: &NodeHandle) -> OpResult<u64> {
         let _g = self.sync_lock.lock();
-        let dirty: Vec<(Loc, u64)> = {
-            let mut d = self.dirty.lock();
-            let out = d.iter().map(|(&l, &v)| (l, v)).collect();
-            d.clear();
-            out
-        };
+        // One `dirty` acquisition for the whole batch: take the map
+        // wholesale instead of copying and clearing entry by entry.
+        let dirty = std::mem::take(&mut *self.dirty.lock());
         let epoch = self.epoch.load(Ordering::Acquire) + 1;
         let mut len = self.log_len.load(Ordering::Acquire);
         let region = self.committed_region.load(Ordering::Acquire);
 
         if len + 2 * dirty.len() as u64 > u64::from(self.log_capacity) {
-            // Compaction: full ping-pong snapshot, log reset.
+            // Compaction: full ping-pong snapshot, log reset. One
+            // `slots` acquisition for the whole batch; the taken dirty
+            // map doubles as the redo lookup (no second map build).
             let target = 1 - region;
-            let dirty_map: HashMap<Loc, u64> = dirty.iter().copied().collect();
             let snapshot: Vec<(Loc, u32)> = {
                 let slots = self.slots.lock();
                 slots.iter().map(|(&l, &s)| (l, s)).collect()
             };
             for (loc, slot) in snapshot {
-                let v = match dirty_map.get(&loc) {
+                let v = match dirty.get(&loc) {
                     Some(&v) => v,
                     None => node.load(loc)?,
                 };

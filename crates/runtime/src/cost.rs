@@ -112,11 +112,21 @@ impl CostModel {
     /// per-line full-`RFlush` costs: the slowest line is paid in full, the
     /// rest overlap at [`CostModel::flush_pipelined`] each.
     pub fn barrier_cost(&self, line_costs: &[u64]) -> u64 {
-        match line_costs.iter().max() {
-            None => self.barrier_base,
-            Some(&max) => {
-                self.barrier_base + max + self.flush_pipelined * (line_costs.len() as u64 - 1)
-            }
+        self.barrier_cost_of(
+            line_costs.iter().max().copied().unwrap_or(0),
+            line_costs.len() as u64,
+        )
+    }
+
+    /// Streaming form of [`CostModel::barrier_cost`]: the slowest line's
+    /// full-`RFlush` cost and the retired-line count fully determine the
+    /// barrier cost, so callers that visit lines one at a time need not
+    /// collect them. This is the single definition of the formula.
+    pub fn barrier_cost_of(&self, max_line: u64, lines: u64) -> u64 {
+        if lines == 0 {
+            self.barrier_base
+        } else {
+            self.barrier_base + max_line + self.flush_pipelined * (lines - 1)
         }
     }
 }

@@ -14,6 +14,14 @@ use std::sync::atomic::{AtomicU32, Ordering};
 
 use cxl0_model::{Loc, MachineId, SystemConfig};
 
+/// The bump counter on its own cache line: every allocation CAS-loops on
+/// it, and without the padding that traffic would false-share with the
+/// read-only `region`/`limit` fields (and whatever the allocator places
+/// next to the heap).
+#[repr(align(64))]
+#[derive(Debug)]
+struct PaddedCounter(AtomicU32);
+
 /// A bump allocator over machine `region`'s shared locations.
 ///
 /// # Examples
@@ -32,7 +40,7 @@ use cxl0_model::{Loc, MachineId, SystemConfig};
 #[derive(Debug)]
 pub struct SharedHeap {
     region: MachineId,
-    next: AtomicU32,
+    next: PaddedCounter,
     limit: u32,
 }
 
@@ -41,7 +49,7 @@ impl SharedHeap {
     pub fn new(cfg: &SystemConfig, region: MachineId) -> Self {
         SharedHeap {
             region,
-            next: AtomicU32::new(0),
+            next: PaddedCounter(AtomicU32::new(0)),
             limit: cfg.machine(region).locations,
         }
     }
@@ -62,7 +70,7 @@ impl SharedHeap {
         );
         SharedHeap {
             region,
-            next: AtomicU32::new(base),
+            next: PaddedCounter(AtomicU32::new(base)),
             limit,
         }
     }
@@ -80,7 +88,7 @@ impl SharedHeap {
     /// stay allocatable and repeated failures can never overflow the
     /// counter into "successful" out-of-range allocations.
     pub fn alloc(&self, n: u32) -> Option<Loc> {
-        let mut base = self.next.load(Ordering::Relaxed);
+        let mut base = self.next.0.load(Ordering::Relaxed);
         loop {
             let end = base.checked_add(n)?;
             if end > self.limit {
@@ -88,6 +96,7 @@ impl SharedHeap {
             }
             match self
                 .next
+                .0
                 .compare_exchange_weak(base, end, Ordering::Relaxed, Ordering::Relaxed)
             {
                 Ok(_) => return Some(Loc::new(self.region, base)),
@@ -98,7 +107,8 @@ impl SharedHeap {
 
     /// Cells remaining.
     pub fn remaining(&self) -> u32 {
-        self.limit.saturating_sub(self.next.load(Ordering::Relaxed))
+        self.limit
+            .saturating_sub(self.next.0.load(Ordering::Relaxed))
     }
 }
 
