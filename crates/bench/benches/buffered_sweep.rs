@@ -8,6 +8,7 @@ use std::sync::Arc;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 use cxl0_model::{MachineId, SystemConfig};
+use cxl0_runtime::alloc::Allocator;
 use cxl0_runtime::{BufferedEpoch, DurableMap, FlitCxl0, Persistence, SharedHeap, SimFabric};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
@@ -22,8 +23,11 @@ struct Rig {
 
 fn rig(strategy: Arc<dyn Persistence>) -> Rig {
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 18));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
-    let map = DurableMap::create(&heap, 1024, strategy).expect("heap fits");
+    let alloc = Arc::new(Allocator::over_region(fabric.config(), MEM, strategy));
+    let node = fabric.node(MachineId(0));
+    let map = DurableMap::create(&alloc, &node, 1024)
+        .expect("fresh machine")
+        .expect("heap fits");
     Rig {
         fabric,
         map,
@@ -59,8 +63,19 @@ fn bench_buffered(c: &mut Criterion) {
         let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 18));
         let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
         let buffered = Arc::new(BufferedEpoch::create(&heap, 8192, interval).expect("heap fits"));
-        let map =
-            DurableMap::create(&heap, 1024, buffered as Arc<dyn Persistence>).expect("heap fits");
+        // The epoch machinery bumped the front of the region; the
+        // allocator takes the untouched upper half.
+        let alloc = Arc::new(Allocator::with_range(
+            fabric.config(),
+            MEM,
+            1 << 17,
+            1 << 17,
+            buffered as Arc<dyn Persistence>,
+        ));
+        let node = fabric.node(MachineId(0));
+        let map = DurableMap::create(&alloc, &node, 1024)
+            .expect("fresh machine")
+            .expect("heap fits");
         let mut r = Rig {
             fabric,
             map,

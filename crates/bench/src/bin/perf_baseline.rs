@@ -16,8 +16,14 @@
 //! scalability change must move) and simulated cost (`sim_ns_per_op`,
 //! the number that must **not** move — the cost model is semantics).
 //!
+//! With `--churn` a third sweep runs: an alloc/free-heavy
+//! enqueue/dequeue mix (the `cxl0-workloads` `alloc_churn` preset) on a
+//! deliberately small region, reporting allocator behavior (free-list
+//! hit rate, high-water cells) alongside throughput — the row that
+//! catches allocator regressions in the perf trajectory.
+//!
 //! ```text
-//! perf_baseline [--quick] [--out PATH] [--label NAME] [--baseline PATH]
+//! perf_baseline [--quick] [--churn] [--out PATH] [--label NAME] [--baseline PATH]
 //! ```
 //!
 //! `--baseline` embeds a previous run's JSON verbatim under `"baseline"`
@@ -31,7 +37,8 @@ use std::time::Instant;
 use cxl0_bench::{bench_cluster, MEM_NODE};
 use cxl0_model::{Loc, MachineId, StoreKind, SystemConfig};
 use cxl0_runtime::api::PersistMode;
-use cxl0_runtime::SimFabric;
+use cxl0_runtime::{AllocStats, SimFabric};
+use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// Thread counts of the sweep, per the ISSUE: 1/2/4/8.
 const THREADS: [usize; 4] = [1, 2, 4, 8];
@@ -40,6 +47,7 @@ const LOCS_PER_THREAD: u32 = 64;
 
 struct Options {
     quick: bool,
+    churn: bool,
     out: String,
     label: String,
     baseline: Option<String>,
@@ -48,6 +56,7 @@ struct Options {
 fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
+        churn: false,
         out: "BENCH_fabric.json".to_string(),
         label: "run".to_string(),
         baseline: None,
@@ -56,6 +65,7 @@ fn parse_args() -> Options {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--quick" => opts.quick = true,
+            "--churn" => opts.churn = true,
             "--out" => opts.out = args.next().expect("--out takes a path"),
             "--label" => {
                 let label = args.next().expect("--label takes a name");
@@ -67,7 +77,9 @@ fn parse_args() -> Options {
                 opts.label = label;
             }
             "--baseline" => opts.baseline = Some(args.next().expect("--baseline takes a path")),
-            other => panic!("unknown argument {other:?} (try --quick/--out/--label/--baseline)"),
+            other => {
+                panic!("unknown argument {other:?} (try --quick/--churn/--out/--label/--baseline)")
+            }
         }
     }
     opts
@@ -249,6 +261,98 @@ fn queue_row(mode: PersistMode, threads: usize, pairs: u64) -> Row {
     }
 }
 
+/// One measured churn-sweep row: queue throughput plus the allocator
+/// counters that make memory behavior part of the perf trajectory.
+struct ChurnRow {
+    row: Row,
+    mem: AllocStats,
+}
+
+impl ChurnRow {
+    fn to_json(&self) -> String {
+        let hit_rate = self.mem.freelist_hits as f64 / self.mem.allocs.max(1) as f64;
+        format!(
+            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"mops_per_sec\":{:.3},\"sim_ns_per_op\":{:.3},\"allocs\":{},\"frees\":{},\"freelist_hits\":{},\"freelist_hit_rate\":{:.3},\"hw_cells\":{}}}",
+            self.row.mode,
+            self.row.threads,
+            self.row.ops,
+            self.row.mops_per_sec(),
+            self.row.sim_ns_per_op,
+            self.mem.allocs,
+            self.mem.frees,
+            self.mem.freelist_hits,
+            hit_rate,
+            self.mem.hw_cells,
+        )
+    }
+}
+
+/// Runs one churn-sweep row: `threads` sessions driving one shared
+/// `DurableQueue` with the balanced alloc-churn mix over a region small
+/// enough that only node reclamation sustains the traffic.
+fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow {
+    // Small region: the bump tail alone could never absorb the sweep.
+    let cluster = bench_cluster(1 << 14, mode);
+    let setup = cluster.session(MachineId(0));
+    let queue = setup
+        .create_queue::<u64>("perf/churn")
+        .expect("heap fits the queue");
+    let start_gate = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let session = cluster.session(MachineId(t % 2));
+        let queue = queue.clone();
+        let gate = Arc::clone(&start_gate);
+        handles.push(std::thread::spawn(move || {
+            let mut w = Workload::new(KeyDist::uniform(1 << 20), OpMix::alloc_churn(), t as u64);
+            gate.wait();
+            let start = Instant::now();
+            let mut ops = 0u64;
+            for op in w.take_ops(ops_per_thread as usize) {
+                match op {
+                    WorkloadOp::Insert(k, _) => {
+                        assert!(
+                            queue.enqueue(&session, k).unwrap(),
+                            "heap exhausted: node reclamation regressed"
+                        );
+                    }
+                    WorkloadOp::Remove(_) | WorkloadOp::Read(_) => {
+                        queue.dequeue(&session).unwrap();
+                    }
+                }
+                ops += 1;
+            }
+            WorkerReport {
+                start,
+                end: Instant::now(),
+                ops,
+            }
+        }));
+    }
+    let before = cluster.stats_snapshot();
+    start_gate.wait();
+    let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let (wall_ns, ops) = wall_and_ops(reports);
+    let delta = cluster.stats_snapshot().since(&before);
+    ChurnRow {
+        row: Row {
+            mode: mode.name(),
+            threads,
+            ops,
+            wall_ns,
+            sim_ns: delta.sim_ns,
+            sim_ns_per_op: delta.sim_ns as f64 / ops as f64,
+        },
+        mem: AllocStats {
+            allocs: delta.allocs,
+            frees: delta.frees,
+            freelist_hits: delta.freelist_hits,
+            live_cells: delta.live_cells,
+            hw_cells: delta.hw_cells,
+        },
+    }
+}
+
 /// Extracts the `"primitive_8t_mops": <number>` summary from a previous
 /// run's JSON without a JSON parser (the format is our own).
 fn extract_8t_mops(json: &str) -> Option<f64> {
@@ -280,8 +384,8 @@ fn main() {
     };
 
     eprintln!(
-        "perf_baseline: label={} quick={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
-        opts.label, opts.quick
+        "perf_baseline: label={} quick={} churn={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
+        opts.label, opts.quick, opts.churn
     );
 
     // Best-of-`reps` per row: on a busy machine the max is the honest
@@ -330,6 +434,37 @@ fn main() {
         }
     }
 
+    // The churn sweep at 1/2/4 threads: best-of-reps on throughput is
+    // meaningless here (allocator counters differ per rep), so one run
+    // per row — the interesting numbers are hit rate and high-water.
+    let mut churn_rows = Vec::new();
+    if opts.churn {
+        let churn_ops: u64 = if opts.quick { 4_000 } else { 24_000 };
+        let churn_modes = if opts.quick {
+            vec![PersistMode::FlitCxl0]
+        } else {
+            vec![
+                PersistMode::None,
+                PersistMode::FlitCxl0,
+                PersistMode::FlitAsync,
+            ]
+        };
+        for &mode in &churn_modes {
+            for t in [1usize, 2, 4] {
+                let row = churn_row(mode, t, churn_ops);
+                eprintln!(
+                    "  churn/{} {}t: {:.3} Mops/s ({:.1}% free-list hits, hw {} cells)",
+                    row.row.mode,
+                    t,
+                    row.row.mops_per_sec(),
+                    100.0 * row.mem.freelist_hits as f64 / row.mem.allocs.max(1) as f64,
+                    row.mem.hw_cells
+                );
+                churn_rows.push(row);
+            }
+        }
+    }
+
     let prim_8t = primitive_rows
         .iter()
         .find(|r| r.threads == 8)
@@ -372,6 +507,15 @@ fn main() {
         .collect();
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]");
+    if !churn_rows.is_empty() {
+        json.push_str(",\n  \"churn_sweep\": [\n");
+        let rows: Vec<String> = churn_rows
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ]");
+    }
     if let Some(raw) = &baseline_raw {
         json.push_str(",\n  \"baseline\": ");
         json.push_str(raw.trim());

@@ -22,8 +22,9 @@
 use std::sync::Arc;
 
 use cxl0_model::{MachineId, SystemConfig};
+use cxl0_runtime::alloc::Allocator;
 use cxl0_runtime::api::{Cluster, PersistMode};
-use cxl0_runtime::{SharedHeap, SimFabric, StatsSnapshot};
+use cxl0_runtime::{Persistence, SharedHeap, SimFabric, StatsSnapshot};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// The machine hosting benchmark data structures.
@@ -57,6 +58,18 @@ pub fn bench_fabric(cells: u32) -> (Arc<SimFabric>, Arc<SharedHeap>) {
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, cells));
     let heap = Arc::new(SharedHeap::new(fabric.config(), MEM_NODE));
     (fabric, heap)
+}
+
+/// A fresh 2-compute + 1-memory fabric with a crash-consistent
+/// [`Allocator`] over the memory node — for benches that drive the
+/// reclaiming data structures below the session API.
+pub fn bench_allocator(
+    cells: u32,
+    persist: Arc<dyn Persistence>,
+) -> (Arc<SimFabric>, Arc<Allocator>) {
+    let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, cells));
+    let alloc = Arc::new(Allocator::over_region(fabric.config(), MEM_NODE, persist));
+    (fabric, alloc)
 }
 
 /// A fresh 2-compute + 1-memory [`Cluster`] with `cells` shared cells

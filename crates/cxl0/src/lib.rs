@@ -6,6 +6,7 @@
 //! | Module | Crate | Paper artefact |
 //! |---|---|---|
 //! | [`api`] | `cxl0-runtime` | **the programming model**: `Cluster`/`Session`, typed durable handles (`Word`), `PersistMode`, the durable named-root registry |
+//! | [`alloc`] | `cxl0-runtime` | the crash-consistent size-class allocator: durable free lists, allocation intents, generation-tagged pointers, recovery sweep |
 //! | [`model`] | `cxl0-model` | the CXL0 operational semantics (§3, Fig. 2), variants (§3.5), topologies (§4), `CXL0_AF` async flushes (§3.2 extension) |
 //! | [`explore`] | `cxl0-explore` | litmus tests (Fig. 3 + A1–A8), Proposition 1, variant refinement (FDR4 analogue) |
 //! | [`protocol`] | `cxl0-protocol` | CXL.cache/CXL.mem transaction engine + Table 1 (§5.1), CXL 3.0 BISnp pool (§4) |
@@ -63,5 +64,6 @@ pub use cxl0_protocol as protocol;
 pub use cxl0_runtime as runtime;
 pub use cxl0_workloads as workloads;
 
+pub use cxl0_runtime::alloc;
 pub use cxl0_runtime::api;
 pub use cxl0_runtime::durable_word;

@@ -7,10 +7,11 @@ use std::sync::Arc;
 
 use cxl0_model::{MachineId, ModelVariant, SystemConfig};
 
+use crate::alloc::{Allocator, META_CELLS};
 use crate::api::error::{ApiError, ApiResult};
 use crate::api::registry::{RootDirectory, ENTRY_CELLS};
 use crate::api::session::Session;
-use crate::backend::{SimFabric, Stats};
+use crate::backend::{SimFabric, Stats, StatsSnapshot};
 use crate::buffered::BufferedEpoch;
 use crate::cost::CostModel;
 use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, Persistence};
@@ -164,14 +165,16 @@ impl ClusterBuilder {
         self
     }
 
-    /// Builds the cluster: fabric, heap (with the registry carved out of
-    /// the memory node's segment at offset 0) and persistence strategy.
+    /// Builds the cluster: fabric, crash-consistent allocator (with the
+    /// registry and the allocator's metadata carved out of the memory
+    /// node's segment, starting at offset 0) and persistence strategy.
     ///
     /// # Errors
     ///
     /// [`ApiError::NoMemoryNode`] if no machine owns shared locations;
-    /// [`ApiError::RegistryTooLarge`] if the registry (plus, in buffered
-    /// mode, the epoch machinery) does not fit the segment.
+    /// [`ApiError::RegistryTooLarge`] if the registry plus the
+    /// allocator's metadata (plus, in buffered mode, the epoch
+    /// machinery) does not fit the segment.
     ///
     /// # Panics
     ///
@@ -190,14 +193,17 @@ impl ClusterBuilder {
         if available == 0 {
             return Err(ApiError::NoMemoryNode);
         }
-        let registry_cells = self
+        // The registry and the allocator's metadata must both fit, with
+        // at least one block-area cell to spare. (Saturating arithmetic
+        // keeps the overflow case inside the same error path.)
+        let needed = self
             .root_capacity
-            .checked_mul(ENTRY_CELLS)
-            .filter(|needed| *needed <= available)
-            .ok_or(ApiError::RegistryTooLarge {
-                needed: self.root_capacity.saturating_mul(ENTRY_CELLS),
-                available,
-            })?;
+            .saturating_mul(ENTRY_CELLS)
+            .saturating_add(META_CELLS);
+        if needed >= available {
+            return Err(ApiError::RegistryTooLarge { needed, available });
+        }
+        let registry_cells = self.root_capacity * ENTRY_CELLS;
 
         let fabric = SimFabric::with_options(self.cfg.clone(), self.variant, self.cost);
         let heap = Arc::new(SharedHeap::with_range(
@@ -221,7 +227,7 @@ impl ClusterBuilder {
             } => {
                 let epoch = Arc::new(BufferedEpoch::create(&heap, capacity, sync_interval).ok_or(
                     ApiError::RegistryTooLarge {
-                        needed: registry_cells + 4 * capacity + 1,
+                        needed: registry_cells + META_CELLS + 4 * capacity + 1,
                         available,
                     },
                 )?);
@@ -230,12 +236,37 @@ impl ClusterBuilder {
             }
         };
 
+        // The allocator sits right after the registry (and, in buffered
+        // mode, the epoch machinery bump-allocated just above): its
+        // metadata cells come off the front of the heap's range and the
+        // rest of the segment is its block area. In buffered mode the
+        // epoch cells were not part of the up-front size check, so this
+        // allocation can still fail — as an error, not a panic.
+        let alloc_base = heap.alloc(META_CELLS).ok_or(ApiError::RegistryTooLarge {
+            needed: match self.mode {
+                PersistMode::Buffered { capacity, .. } => needed + 4 * capacity + 1,
+                _ => needed,
+            },
+            available,
+        })?;
+        let allocator = Arc::new(Allocator::with_meta(
+            memory_node,
+            alloc_base.addr.0,
+            available,
+            Arc::clone(&heap),
+            Arc::clone(&persist),
+        ));
+        allocator
+            .format(&fabric.node(memory_node))
+            .expect("a freshly built machine cannot be crashed");
+
         let registry_base = cxl0_model::Loc::new(memory_node, 0);
         let directory = RootDirectory::new(registry_base, self.root_capacity, Arc::clone(&persist));
 
         Ok(Arc::new(Cluster {
             fabric,
             heap,
+            allocator,
             persist,
             buffered,
             mode: self.mode,
@@ -255,6 +286,7 @@ impl ClusterBuilder {
 pub struct Cluster {
     fabric: Arc<SimFabric>,
     heap: Arc<SharedHeap>,
+    allocator: Arc<Allocator>,
     persist: Arc<dyn Persistence>,
     buffered: Option<Arc<BufferedEpoch>>,
     mode: PersistMode,
@@ -295,9 +327,16 @@ impl Cluster {
         &self.fabric
     }
 
-    /// The memory node's shared heap (low-level escape hatch).
+    /// The memory node's raw bump heap (low-level escape hatch; cells
+    /// taken here bypass the allocator and are never reclaimed).
     pub fn heap(&self) -> &Arc<SharedHeap> {
         &self.heap
+    }
+
+    /// The crash-consistent allocator the durable structures allocate
+    /// and reclaim their nodes through.
+    pub fn allocator(&self) -> &Arc<Allocator> {
+        &self.allocator
     }
 
     /// The durability strategy in force.
@@ -332,6 +371,19 @@ impl Cluster {
         self.fabric.stats()
     }
 
+    /// One merged snapshot of the fabric counters *and* the allocator's
+    /// memory counters — what [`Session::stats_delta`] diffs.
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.fabric.stats().snapshot();
+        let mem = self.allocator.stats();
+        snap.allocs = mem.allocs;
+        snap.frees = mem.frees;
+        snap.freelist_hits = mem.freelist_hits;
+        snap.live_cells = mem.live_cells;
+        snap.hw_cells = mem.hw_cells;
+        snap
+    }
+
     /// Crashes machine `m` (stop-the-world; NVM survives, caches and
     /// volatile memory do not).
     pub fn crash(&self, m: MachineId) {
@@ -358,14 +410,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn build_reserves_registry_at_offset_zero() {
+    fn build_reserves_registry_then_allocator_metadata() {
         let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 4096))
             .root_capacity(16)
             .build()
             .unwrap();
-        // The heap starts right after 16 * ENTRY_CELLS registry cells.
+        // The block area starts right after 16 * ENTRY_CELLS registry
+        // cells plus the allocator's metadata.
         let first = cluster.heap().alloc(1).unwrap();
-        assert_eq!(first.addr.0, 16 * ENTRY_CELLS);
+        assert_eq!(first.addr.0, 16 * ENTRY_CELLS + META_CELLS);
         assert_eq!(first.owner, cluster.memory_node());
     }
 
@@ -393,6 +446,22 @@ mod tests {
     fn oversized_registry_is_rejected() {
         let err = Cluster::builder(SystemConfig::symmetric_nvm(2, 64))
             .root_capacity(64)
+            .build()
+            .err();
+        assert!(matches!(err, Some(ApiError::RegistryTooLarge { .. })));
+    }
+
+    #[test]
+    fn buffered_epoch_squeezing_out_the_allocator_errors_not_panics() {
+        // The up-front check covers registry + allocator metadata; the
+        // buffered epoch's 4*capacity+1 cells are only discovered when
+        // the metadata is carved out — that path must error too.
+        let err = Cluster::builder(SystemConfig::symmetric_nvm(2, 1000))
+            .root_capacity(0)
+            .persist(PersistMode::Buffered {
+                capacity: 230, // 921 epoch cells leave < META_CELLS free
+                sync_interval: 0,
+            })
             .build()
             .err();
         assert!(matches!(err, Some(ApiError::RegistryTooLarge { .. })));

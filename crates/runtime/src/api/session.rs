@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use cxl0_model::{Loc, MachineId};
 
+use crate::alloc::Allocator;
 use crate::api::cluster::Cluster;
 use crate::api::error::{ApiError, ApiResult};
 use crate::api::registry::{truncate_type_tag, RootInfo, RootKind, RootRecord};
@@ -63,7 +64,7 @@ impl AsNode for Session {
 
 impl Session {
     pub(crate) fn new(cluster: Arc<Cluster>, node: NodeHandle) -> Self {
-        let entered = cluster.stats().snapshot();
+        let entered = cluster.stats_snapshot();
         Session {
             cluster,
             node,
@@ -87,9 +88,15 @@ impl Session {
         &self.cluster
     }
 
-    /// The cluster's shared heap.
+    /// The cluster's raw bump heap (cells taken here bypass the
+    /// allocator and are never reclaimed).
     pub fn heap(&self) -> &Arc<SharedHeap> {
         self.cluster.heap()
+    }
+
+    /// The cluster's crash-consistent allocator.
+    pub fn allocator(&self) -> &Arc<Allocator> {
+        self.cluster.allocator()
     }
 
     /// The cluster's durability strategy.
@@ -97,9 +104,11 @@ impl Session {
         self.cluster.persistence()
     }
 
-    /// Fabric statistics accumulated since this session was created —
-    /// the snapshot-on-entry + diff dance every benchmark used to
-    /// hand-roll.
+    /// Fabric *and allocator* statistics accumulated since this session
+    /// was created — the snapshot-on-entry + diff dance every benchmark
+    /// used to hand-roll. Alongside the primitive counters, the delta
+    /// reports memory behavior: `allocs`, `frees`, `freelist_hits`
+    /// (diffed) and the `live_cells`/`hw_cells` gauges (current values).
     ///
     /// Note the counters are fabric-wide: with concurrent sessions the
     /// delta covers everyone's operations in the window. Counters are
@@ -108,7 +117,7 @@ impl Session {
     /// joined (or otherwise happen-before the call), like any relaxed
     /// counter read for still-running ones.
     pub fn stats_delta(&self) -> StatsSnapshot {
-        self.cluster.stats().snapshot().since(&self.entered)
+        self.cluster.stats_snapshot().since(&self.entered)
     }
 
     /// Under [`PersistMode::Buffered`](crate::api::PersistMode::Buffered),
@@ -136,14 +145,18 @@ impl Session {
         Ok(self.cluster.directory().roots(&self.node)?)
     }
 
-    /// Post-crash registry repair: seals entries left *pending* by
+    /// Post-crash repair of the shared durable plumbing, in order:
+    /// replays the buffered epoch's recovery (when the cluster runs
+    /// [`PersistMode::Buffered`](crate::api::PersistMode::Buffered)),
+    /// runs the allocator's recovery sweep
+    /// ([`Allocator::recover`]: torn claims reverted, latched
+    /// alloc/free intents sealed, orphaned blocks pushed back onto
+    /// their free lists), and seals registry entries left *pending* by
     /// creators that crashed between claim and commit, making those
     /// names creatable again. Must run quiesced (no concurrent
-    /// `create_*`), like the structures' own `recover` methods. Also
-    /// replays the buffered epoch's recovery first when the cluster runs
-    /// [`PersistMode::Buffered`](crate::api::PersistMode::Buffered).
+    /// operations), like the structures' own `recover` methods.
     ///
-    /// Returns the number of sealed entries.
+    /// Returns the number of sealed registry entries.
     ///
     /// # Errors
     ///
@@ -152,6 +165,7 @@ impl Session {
         if let Some(epoch) = self.cluster.buffered() {
             epoch.recover(&self.node)?;
         }
+        self.cluster.allocator().recover(&self.node)?;
         Ok(self.cluster.directory().recover(&self.node)?)
     }
 
@@ -276,11 +290,9 @@ impl Session {
     /// As [`Session::create_register`].
     pub fn create_queue<T: Word>(&self, name: &str) -> ApiResult<DurableQueue<T>> {
         self.create_root(name, RootKind::Queue, T::TAG, || {
-            let Some(q) = DurableQueue::<T>::create(self.heap(), Arc::clone(self.persistence()))
-            else {
+            let Some(q) = DurableQueue::<T>::create(self.allocator(), &self.node)? else {
                 return Ok(None);
             };
-            q.init(&self.node)?;
             let header = q.header_cell();
             Ok(Some((q, header, 0)))
         })
@@ -296,8 +308,7 @@ impl Session {
         let info = self.lookup(name, RootKind::Queue, T::TAG)?;
         Ok(DurableQueue::attach(
             info.header,
-            Arc::clone(self.heap()),
-            Arc::clone(self.persistence()),
+            Arc::clone(self.allocator()),
         ))
     }
 
@@ -308,11 +319,9 @@ impl Session {
     /// As [`Session::create_register`].
     pub fn create_stack<T: Word>(&self, name: &str) -> ApiResult<DurableStack<T>> {
         self.create_root(name, RootKind::Stack, T::TAG, || {
-            Ok(
-                DurableStack::<T>::create(self.heap(), Arc::clone(self.persistence()))
-                    .map(|s| (s.top_cell(), s))
-                    .map(|(top, s)| (s, top, 0)),
-            )
+            Ok(DurableStack::<T>::create(self.allocator(), &self.node)?
+                .map(|s| (s.top_cell(), s))
+                .map(|(top, s)| (s, top, 0)))
         })
     }
 
@@ -325,8 +334,7 @@ impl Session {
         let info = self.lookup(name, RootKind::Stack, T::TAG)?;
         Ok(DurableStack::attach(
             info.header,
-            Arc::clone(self.heap()),
-            Arc::clone(self.persistence()),
+            Arc::clone(self.allocator()),
         ))
     }
 
@@ -346,11 +354,10 @@ impl Session {
     ) -> ApiResult<DurableMap<K, V>> {
         self.create_root(name, RootKind::Map, map_tag::<K, V>(), || {
             Ok(
-                DurableMap::<K, V>::create(self.heap(), capacity, Arc::clone(self.persistence()))
-                    .map(|m| {
-                        let (base, rounded) = m.layout();
-                        (m, base, rounded)
-                    }),
+                DurableMap::<K, V>::create(self.allocator(), &self.node, capacity)?.map(|m| {
+                    let (base, rounded) = m.layout();
+                    (m, base, rounded)
+                }),
             )
         })
     }
@@ -410,11 +417,9 @@ impl Session {
     /// As [`Session::create_register`].
     pub fn create_list<K: Word>(&self, name: &str) -> ApiResult<DurableList<K>> {
         self.create_root(name, RootKind::List, K::TAG, || {
-            Ok(
-                DurableList::<K>::create(self.heap(), Arc::clone(self.persistence()))
-                    .map(|l| (l.head_cell(), l))
-                    .map(|(head, l)| (l, head, 0)),
-            )
+            Ok(DurableList::<K>::create(self.allocator(), &self.node)?
+                .map(|l| (l.head_cell(), l))
+                .map(|(head, l)| (l, head, 0)))
         })
     }
 
@@ -427,8 +432,7 @@ impl Session {
         let info = self.lookup(name, RootKind::List, K::TAG)?;
         Ok(DurableList::attach(
             info.header,
-            Arc::clone(self.heap()),
-            Arc::clone(self.persistence()),
+            Arc::clone(self.allocator()),
         ))
     }
 

@@ -304,6 +304,9 @@ impl Stats {
             aflushes: counts[OpClass::AFlushes as usize],
             barriers: counts[OpClass::Barriers as usize],
             sim_ns,
+            // The fabric knows nothing of the allocator; the cluster
+            // layer overlays these (`Cluster::stats_snapshot`).
+            ..StatsSnapshot::default()
         }
     }
 }
@@ -331,6 +334,23 @@ pub struct StatsSnapshot {
     pub barriers: u64,
     /// Simulated nanoseconds.
     pub sim_ns: u64,
+    /// Allocator: successful block allocations. Zero in raw-fabric
+    /// snapshots; populated by
+    /// [`Cluster::stats_snapshot`](crate::api::Cluster::stats_snapshot)
+    /// and [`Session::stats_delta`](crate::api::Session::stats_delta).
+    pub allocs: u64,
+    /// Allocator: successful block frees (see [`StatsSnapshot::allocs`]).
+    pub frees: u64,
+    /// Allocator: allocations served by reusing a reclaimed block (see
+    /// [`StatsSnapshot::allocs`]).
+    pub freelist_hits: u64,
+    /// Allocator gauge: payload cells currently live. Unlike the
+    /// counters, [`StatsSnapshot::since`] carries gauges over from the
+    /// later snapshot rather than subtracting.
+    pub live_cells: u64,
+    /// Allocator gauge: high-water mark of `live_cells` (see
+    /// [`StatsSnapshot::live_cells`]).
+    pub hw_cells: u64,
 }
 
 impl StatsSnapshot {
@@ -357,7 +377,10 @@ impl StatsSnapshot {
         self.lflushes + self.rflushes
     }
 
-    /// Component-wise difference (`self - earlier`).
+    /// Component-wise difference (`self - earlier`) for the monotonic
+    /// counters; the allocator *gauges* (`live_cells`, `hw_cells`) are
+    /// carried over from `self` (a "delta" of a level is meaningless
+    /// and could underflow).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             loads: self.loads - earlier.loads,
@@ -370,6 +393,11 @@ impl StatsSnapshot {
             aflushes: self.aflushes - earlier.aflushes,
             barriers: self.barriers - earlier.barriers,
             sim_ns: self.sim_ns - earlier.sim_ns,
+            allocs: self.allocs - earlier.allocs,
+            frees: self.frees - earlier.frees,
+            freelist_hits: self.freelist_hits - earlier.freelist_hits,
+            live_cells: self.live_cells,
+            hw_cells: self.hw_cells,
         }
     }
 }

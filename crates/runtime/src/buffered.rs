@@ -550,9 +550,17 @@ mod tests {
     #[test]
     fn queue_recovers_to_sync_point() {
         let (f, heap, b) = setup(0);
-        let queue = DurableQueue::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+        // The epoch machinery bumped ~1k cells off the front of the
+        // region; give the allocator the untouched upper half.
+        let alloc = Arc::new(crate::alloc::Allocator::with_range(
+            f.config(),
+            heap.region(),
+            2048,
+            2048,
+            Arc::clone(&b) as Arc<dyn Persistence>,
+        ));
         let node = f.node(M0);
-        queue.init(&node).unwrap();
+        let queue = DurableQueue::create(&alloc, &node).unwrap().unwrap();
         queue.enqueue(&node, 1).unwrap();
         queue.enqueue(&node, 2).unwrap();
         b.sync(&node).unwrap();

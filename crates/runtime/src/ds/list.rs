@@ -2,21 +2,55 @@
 //! logical deletion via a mark bit in the `next` pointer, physical
 //! unlinking by helping traversals — FliT-transformed like the other
 //! structures, demonstrating the transformation on a pointer-chasing
-//! algorithm with two-phase removal.
+//! algorithm with two-phase removal **and node reclamation**.
 //!
 //! Node layout: `[key, next]`; the `next` cell packs `(pointer, mark)`.
-//! Keys must be non-zero and below `2^63` (the mark bit).
+//! Keys must be non-zero and below `2^62` (the allocator's null tag and
+//! the mark bit).
+//!
+//! ## Reclamation: retire now, reclaim at quiescence
+//!
+//! Unlike the queue and stack — whose CASes always compare a
+//! generation-tagged word remembered from the incarnation they mean,
+//! and can therefore free unlinked nodes immediately — a Harris list
+//! cannot reclaim inline: traversals deref interior nodes without a
+//! validating CAS, and `remove`'s logical-delete CAS takes its expected
+//! value from a fresh read of the node itself, so an unlink → free →
+//! recycle racing an in-flight operation could hand that operation a
+//! *different* structure's live cell (the classic reason linked lists
+//! need hazard pointers where stacks and queues get by with counted
+//! pointers).
+//!
+//! This list therefore **retires** unlinked nodes into a volatile
+//! per-handle quarantine instead of freeing them: a retired node's
+//! cells stay frozen (marked), so every in-flight traversal and CAS
+//! behaves exactly as in the classic non-reclaiming Harris list.
+//! [`DurableList::reclaim`] drains the quarantine into the allocator —
+//! it must run *quiesced* (no concurrent operations on this list, like
+//! `recover`), the natural point being between workload phases. Churn
+//! workloads that reclaim periodically run in bounded memory; nodes
+//! retired but not yet reclaimed at a crash are leaked, exactly like
+//! cells of any crashed operation.
+//!
+//! Two generation disciplines keep the *published* state safe under
+//! cross-structure reuse of whatever the list does release: every
+//! pointer stored in a link cell is generation-tagged, and every null
+//! written into a node's link cell carries that node's **own**
+//! generation (inserts at the end tag the new node's null with its own
+//! generation; unlinks that would store a null tag it with the
+//! predecessor's) — so no stale CAS can mistake a recycled cell's null
+//! for the incarnation it observed.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
+use crate::alloc::Allocator;
 use crate::api::Word;
 use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
 use crate::flit::Persistence;
-use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 
 const MARK: u64 = 1 << 63;
 
@@ -29,8 +63,8 @@ fn unmark(raw: u64) -> u64 {
 }
 
 /// A durable sorted set of [`Word`] keys (default `u64`), ordered by
-/// their encoded word. Keys must encode non-zero and below `2^63` (the
-/// mark bit).
+/// their encoded word. Keys must encode non-zero and below `2^62` (the
+/// mark bit and the allocator's null tag).
 ///
 /// # Examples
 ///
@@ -52,30 +86,48 @@ fn unmark(raw: u64) -> u64 {
 pub struct DurableList<K: Word = u64> {
     /// The head pointer cell (encoded pointer to the first node, or 0).
     head: Loc,
-    heap: Arc<SharedHeap>,
+    alloc: Arc<Allocator>,
     persist: Arc<dyn Persistence>,
+    /// Volatile quarantine of unlinked nodes awaiting a quiescent
+    /// [`DurableList::reclaim`] (shared by clones of this handle).
+    retired: Arc<parking_lot::Mutex<Vec<Loc>>>,
     _keys: PhantomData<K>,
 }
 
 impl<K: Word> DurableList<K> {
-    /// Allocates an empty list (one head cell); `None` if the heap is
-    /// exhausted.
-    pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
-        let head = heap.alloc(1)?;
-        Some(DurableList {
-            head,
-            heap: Arc::clone(heap),
+    /// Allocates an empty list (one head cell) through `alloc`;
+    /// `Ok(None)` if the heap is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn create(alloc: &Arc<Allocator>, at: &impl AsNode) -> OpResult<Option<Self>> {
+        let node = at.as_node();
+        let persist = Arc::clone(alloc.persistence());
+        let Some(head) = alloc.alloc(node, 1)? else {
+            return Ok(None);
+        };
+        // The head block may be recycled memory: empty is a plain zero.
+        persist.private_store(node, head.loc, 0, true)?;
+        Ok(Some(DurableList {
+            head: head.loc,
+            alloc: Arc::clone(alloc),
             persist,
+            retired: Arc::new(parking_lot::Mutex::new(Vec::new())),
             _keys: PhantomData,
-        })
+        }))
     }
 
-    /// Attaches to an existing list after recovery.
-    pub fn attach(head: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
+    /// Attaches to an existing list after recovery (with a fresh, empty
+    /// retire quarantine: each handle reclaims what it unlinked). The
+    /// durability strategy is the allocator's — the two can never be a
+    /// mismatched pair.
+    pub fn attach(head: Loc, alloc: Arc<Allocator>) -> Self {
         DurableList {
             head,
-            heap,
-            persist,
+            persist: Arc::clone(alloc.persistence()),
+            alloc,
+            retired: Arc::new(parking_lot::Mutex::new(Vec::new())),
             _keys: PhantomData,
         }
     }
@@ -93,38 +145,71 @@ impl<K: Word> DurableList<K> {
         Loc::new(node.owner, node.addr.0 + 1)
     }
 
+    /// Defensive traversal bound: recycled cells can in principle form a
+    /// cycle; a traversal exceeding this restarts (mutators) or gives up
+    /// (snapshots).
+    fn step_cap(&self) -> u32 {
+        self.alloc.block_area_cells()
+    }
+
+    /// The word an unlink installs in the predecessor: the removed
+    /// node's successor, except that a null is re-tagged with the
+    /// *predecessor's* generation — a node's link cell only ever holds
+    /// nulls of its own incarnation (see the module docs). `pred_gen`
+    /// is 0 for the head cell, which is never recycled.
+    fn unlink_word(&self, next_raw: u64, pred_gen: u64) -> u64 {
+        let clean = unmark(next_raw);
+        if self.alloc.decode(clean).is_none() {
+            Allocator::null_ptr(pred_gen)
+        } else {
+            clean
+        }
+    }
+
     /// Finds the first node with key ≥ `key`. Returns
-    /// `(pred_cell, expected_in_pred, found)` where `found` is the
-    /// encoded current node (0 at end of list) whose key, if any node, is
-    /// ≥ `key`. Helps unlink marked nodes on the way.
-    fn search(&self, node: &NodeHandle, key: u64) -> OpResult<(Loc, u64, Option<u64>)> {
+    /// `(pred_cell, pred_gen, expected_in_pred, found)` where `found`
+    /// is the encoded current node (null at end of list) whose key, if
+    /// any node, is ≥ `key`. Helps unlink — and retire — marked nodes
+    /// on the way.
+    #[allow(clippy::type_complexity)]
+    fn search(&self, node: &NodeHandle, key: u64) -> OpResult<(Loc, u64, u64, Option<u64>)> {
         'retry: loop {
             let mut pred_cell = self.head;
+            let mut pred_gen = 0u64;
             let mut curr_enc = self.persist.shared_load(node, pred_cell, true)?;
+            let mut steps = 0u32;
             loop {
                 debug_assert!(!is_marked(curr_enc), "pred link is never marked");
-                let Some(curr) = decode_ptr(self.heap.region(), curr_enc) else {
-                    return Ok((pred_cell, curr_enc, None));
+                let Some(curr) = self.alloc.decode(curr_enc) else {
+                    return Ok((pred_cell, pred_gen, curr_enc, None));
                 };
                 let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
                 if is_marked(next_raw) {
-                    // Help unlink the logically-deleted node.
+                    // Help unlink the logically-deleted node; the winner
+                    // of the unlink CAS retires it.
+                    let replacement = self.unlink_word(next_raw, pred_gen);
                     if self
                         .persist
-                        .shared_cas(node, pred_cell, curr_enc, unmark(next_raw), true)?
+                        .shared_cas(node, pred_cell, curr_enc, replacement, true)?
                         .is_err()
                     {
                         continue 'retry;
                     }
-                    curr_enc = unmark(next_raw);
+                    self.retired.lock().push(curr);
+                    curr_enc = replacement;
                     continue;
                 }
                 let k = self.persist.shared_load(node, self.key_cell(curr), true)?;
                 if k >= key {
-                    return Ok((pred_cell, curr_enc, Some(k)));
+                    return Ok((pred_cell, pred_gen, curr_enc, Some(k)));
                 }
                 pred_cell = self.next_cell(curr);
+                pred_gen = Allocator::ptr_gen(curr_enc);
                 curr_enc = next_raw;
+                steps += 1;
+                if steps > self.step_cap() {
+                    continue 'retry;
+                }
             }
         }
     }
@@ -133,7 +218,7 @@ impl<K: Word> DurableList<K> {
     ///
     /// # Panics
     ///
-    /// Panics if `key` is zero or has the mark bit set, or if the node
+    /// Panics if `key` is zero or has bit 62/63 set, or if the node
     /// heap is exhausted.
     ///
     /// # Errors
@@ -142,31 +227,59 @@ impl<K: Word> DurableList<K> {
     pub fn insert(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
         let key = key.to_word();
-        assert!(key != 0 && key & MARK == 0, "key out of range");
+        assert!(
+            key != 0 && key & (MARK | (MARK >> 1)) == 0,
+            "key out of range"
+        );
+        // Lazily allocated, reused across CAS retries, reclaimed on
+        // every non-publishing exit (no leaks on contention).
+        let mut spare: Option<crate::alloc::BlockRef> = None;
         loop {
-            let (pred_cell, curr_enc, found) = self.search(node, key)?;
+            let (pred_cell, _, curr_enc, found) = self.search(node, key)?;
             if found == Some(key) {
+                if let Some(n) = spare {
+                    // Never published: freeing inline is safe.
+                    let _ = self.alloc.free(node, n.loc)?;
+                }
                 self.persist.complete_op(node)?;
                 return Ok(false);
             }
-            let n = self.heap.alloc(2).expect("list heap exhausted");
-            // Initialize privately; persist before publication.
+            let n = match spare {
+                Some(n) => n,
+                None => {
+                    let n = self.alloc.alloc(node, 2)?.expect("list heap exhausted");
+                    self.persist
+                        .private_store(node, self.key_cell(n.loc), key, true)?;
+                    n
+                }
+            };
+            // (Re-)link privately; persist before publication. At the
+            // end of the list the new node's null carries its *own*
+            // generation (never the stale null read from the
+            // predecessor) — the link-cell discipline.
+            let link = if self.alloc.decode(curr_enc).is_none() {
+                Allocator::null_ptr(n.gen)
+            } else {
+                curr_enc
+            };
             self.persist
-                .private_store(node, self.key_cell(n), key, true)?;
-            self.persist
-                .private_store(node, self.next_cell(n), curr_enc, true)?;
+                .private_store(node, self.next_cell(n.loc), link, true)?;
             if self
                 .persist
-                .shared_cas(node, pred_cell, curr_enc, encode_ptr(n), true)?
+                .shared_cas(node, pred_cell, curr_enc, Allocator::encode(n), true)?
                 .is_ok()
             {
                 self.persist.complete_op(node)?;
                 return Ok(true);
             }
+            spare = Some(n);
         }
     }
 
-    /// Removes `key`; returns `false` if it was not present.
+    /// Removes `key`; returns `false` if it was not present. The
+    /// unlinked node is *retired* (by whoever wins the physical
+    /// unlink); a quiesced [`DurableList::reclaim`] returns retirees to
+    /// the allocator.
     ///
     /// # Errors
     ///
@@ -175,18 +288,21 @@ impl<K: Word> DurableList<K> {
         let node = at.as_node();
         let key = key.to_word();
         loop {
-            let (pred_cell, curr_enc, found) = self.search(node, key)?;
+            let (pred_cell, pred_gen, curr_enc, found) = self.search(node, key)?;
             if found != Some(key) {
                 self.persist.complete_op(node)?;
                 return Ok(false);
             }
-            let curr = decode_ptr(self.heap.region(), curr_enc).expect("found implies node");
+            let curr = self.alloc.decode(curr_enc).expect("found implies node");
             let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
             if is_marked(next_raw) {
                 continue; // someone else is removing it; retry from search
             }
             // Logical deletion: set the mark (this is the linearization
-            // point, persisted by the FliT CAS wrapper).
+            // point, persisted by the FliT CAS wrapper). Sound even
+            // though the expected value is a fresh read: retire-based
+            // reclamation guarantees `curr`'s cells are not recycled
+            // while this operation is in flight.
             if self
                 .persist
                 .shared_cas(node, self.next_cell(curr), next_raw, next_raw | MARK, true)?
@@ -194,16 +310,51 @@ impl<K: Word> DurableList<K> {
             {
                 continue;
             }
-            // Best-effort physical unlink; traversals will help if we fail.
-            let _ = self
+            // Best-effort physical unlink; traversals will help if we
+            // fail. The unlink winner — us or a helper — retires.
+            if self
                 .persist
-                .shared_cas(node, pred_cell, curr_enc, next_raw, true)?;
+                .shared_cas(
+                    node,
+                    pred_cell,
+                    curr_enc,
+                    self.unlink_word(next_raw, pred_gen),
+                    true,
+                )?
+                .is_ok()
+            {
+                self.retired.lock().push(curr);
+            }
             self.persist.complete_op(node)?;
             return Ok(true);
         }
     }
 
-    /// Membership test.
+    /// Returns every retired node to the allocator for reuse, giving
+    /// back the count. **Must run quiesced**: no concurrent operations
+    /// on this list (same contract as the `recover` methods) — an
+    /// in-flight traversal may still hold pointers into retired nodes.
+    /// Retirees are per-handle (clones share; separate `attach`es do
+    /// not); nodes retired but not reclaimed before a crash are leaked,
+    /// like any crashed operation's cells.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn reclaim(&self, at: &impl AsNode) -> OpResult<usize> {
+        let node = at.as_node();
+        let drained: Vec<Loc> = std::mem::take(&mut *self.retired.lock());
+        for loc in &drained {
+            let freed = self.alloc.free(node, *loc)?;
+            debug_assert!(freed.is_ok(), "retired nodes are allocated exactly once");
+        }
+        self.persist.complete_op(node)?;
+        Ok(drained.len())
+    }
+
+    /// Membership test. Retire-based reclamation keeps traversals as
+    /// safe as the classic non-reclaiming Harris list: retired nodes'
+    /// cells stay frozen until a quiesced [`DurableList::reclaim`].
     ///
     /// # Errors
     ///
@@ -211,8 +362,7 @@ impl<K: Word> DurableList<K> {
     pub fn contains(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
         let key = key.to_word();
-        let (_, curr_enc, found) = self.search(node, key)?;
-        let _ = curr_enc;
+        let (_, _, _, found) = self.search(node, key)?;
         self.persist.complete_op(node)?;
         Ok(found == Some(key))
     }
@@ -226,8 +376,8 @@ impl<K: Word> DurableList<K> {
         let node = at.as_node();
         let mut out = Vec::new();
         let mut curr_enc = unmark(self.persist.shared_load(node, self.head, true)?);
-        while curr_enc != NULL_PTR {
-            let curr = decode_ptr(self.heap.region(), curr_enc).expect("non-null");
+        let mut steps = 0u32;
+        while let Some(curr) = self.alloc.decode(curr_enc) {
             let next_raw = self.persist.shared_load(node, self.next_cell(curr), true)?;
             if !is_marked(next_raw) {
                 out.push(K::from_word(self.persist.shared_load(
@@ -237,6 +387,10 @@ impl<K: Word> DurableList<K> {
                 )?));
             }
             curr_enc = unmark(next_raw);
+            steps += 1;
+            if steps > self.step_cap() {
+                break;
+            }
         }
         Ok(out)
     }
@@ -251,8 +405,14 @@ mod tests {
 
     fn setup() -> (Arc<SimFabric>, DurableList) {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 14));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
-        let l = DurableList::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let l = DurableList::create(&alloc, &f.node(MachineId(0)))
+            .unwrap()
+            .unwrap();
         (f, l)
     }
 
@@ -270,7 +430,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_unlinks_logically_and_physically() {
+    fn remove_retires_and_reclaim_recycles() {
         let (f, l) = setup();
         let node = f.node(MachineId(0));
         for k in 1..=5u64 {
@@ -279,9 +439,33 @@ mod tests {
         assert!(l.remove(&node, 3).unwrap());
         assert!(!l.remove(&node, 3).unwrap());
         assert_eq!(l.keys(&node).unwrap(), vec![1, 2, 4, 5]);
-        // Re-insert after removal works (fresh node).
+        // The unlinked node sits in the quarantine until a quiesced
+        // reclaim hands it back for reuse.
+        assert_eq!(l.reclaim(&node).unwrap(), 1);
+        assert_eq!(l.reclaim(&node).unwrap(), 0);
         assert!(l.insert(&node, 3).unwrap());
         assert_eq!(l.keys(&node).unwrap(), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn insert_remove_churn_runs_in_bounded_memory() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(1),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let node = f.node(MachineId(0));
+        let l: DurableList = DurableList::create(&alloc, &node).unwrap().unwrap();
+        for i in 0..500u64 {
+            let k = i % 7 + 1;
+            assert!(l.insert(&node, k).unwrap(), "op {i}");
+            assert!(l.remove(&node, k).unwrap(), "op {i}");
+            // Single-threaded churn is quiescent between ops: reclaim
+            // every round, so the region never exhausts.
+            assert_eq!(l.reclaim(&node).unwrap(), 1, "op {i}");
+        }
+        assert!(alloc.stats().freelist_hits > 400);
     }
 
     #[test]
@@ -331,9 +515,12 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        // The list must still be sorted and duplicate-free.
+        // The list must still be sorted and duplicate-free, and (now
+        // quiescent) the retired nodes reclaim cleanly.
         let keys = l.keys(&node0).unwrap();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
+        let reclaimed = l.reclaim(&node0).unwrap();
+        assert!(reclaimed > 0, "contended churn must have retired nodes");
     }
 
     #[test]

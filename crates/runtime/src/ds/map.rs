@@ -8,19 +8,26 @@
 //! FliT-wrapped register operations.
 //!
 //! Restrictions (documented API contract): keys and values must be
-//! non-zero; capacity is fixed at creation; removals do not free slots
-//! (the key stays claimed for future re-inserts).
+//! non-zero; capacity is fixed at creation (minimum 2 slots, so tables
+//! never share a size class with two-cell node blocks — see the
+//! reclamation discipline in [`crate::alloc`]); removals do not free
+//! slots (the key stays claimed for future re-inserts).
+//!
+//! The table is allocated through the crash-consistent
+//! [`Allocator`] — and therefore zeroed at creation, since a recycled
+//! block's payload retains its previous contents and the map's
+//! sentinels are zero.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
+use crate::alloc::Allocator;
 use crate::api::Word;
 use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
 use crate::flit::Persistence;
-use crate::heap::SharedHeap;
 
 /// Key sentinel for an unclaimed slot.
 const EMPTY_KEY: u64 = 0;
@@ -56,32 +63,50 @@ pub struct DurableMap<K: Word = u64, V: Word = u64> {
 
 impl<K: Word, V: Word> DurableMap<K, V> {
     /// Allocates a map with `capacity` slots (rounded up to a power of
-    /// two) from `heap`; `None` if the heap is exhausted.
+    /// two, minimum 2) through `alloc`, zeroing the table; `Ok(None)`
+    /// if the heap is exhausted.
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
     pub fn create(
-        heap: &Arc<SharedHeap>,
+        alloc: &Arc<Allocator>,
+        at: &impl AsNode,
         capacity: u32,
-        persist: Arc<dyn Persistence>,
-    ) -> Option<Self> {
+    ) -> OpResult<Option<Self>> {
         assert!(capacity > 0, "capacity must be positive");
-        let capacity = capacity.next_power_of_two();
-        let base = heap.alloc(capacity * 2)?;
-        Some(DurableMap {
+        let node = at.as_node();
+        let persist = Arc::clone(alloc.persistence());
+        let capacity = capacity.next_power_of_two().max(2);
+        let Some(block) = alloc.alloc(node, capacity * 2)? else {
+            return Ok(None);
+        };
+        let base = block.loc;
+        // A recycled block retains its previous contents; the sentinels
+        // are zero, so such a table must be zeroed before anyone can
+        // see it. Fresh bump-tail cells are guaranteed zero already.
+        if block.recycled {
+            for cell in 0..capacity * 2 {
+                persist.private_store(node, Loc::new(base.owner, base.addr.0 + cell), 0, true)?;
+            }
+        }
+        Ok(Some(DurableMap {
             base,
             capacity,
             persist,
             _entries: PhantomData,
-        })
+        }))
     }
 
     /// Attaches to an existing map after recovery.
     pub fn attach(base: Loc, capacity: u32, persist: Arc<dyn Persistence>) -> Self {
         DurableMap {
             base,
-            capacity: capacity.next_power_of_two(),
+            capacity: capacity.next_power_of_two().max(2),
             persist,
             _entries: PhantomData,
         }
@@ -236,9 +261,39 @@ mod tests {
 
     fn setup(cap: u32) -> (Arc<SimFabric>, DurableMap) {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 4096));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
-        let m = DurableMap::create(&heap, cap, Arc::new(FlitCxl0::default())).unwrap();
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let m = DurableMap::create(&alloc, &f.node(MachineId(0)), cap)
+            .unwrap()
+            .unwrap();
         (f, m)
+    }
+
+    #[test]
+    fn tables_are_zeroed_even_on_recycled_blocks() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 4096));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(1),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let node = f.node(MachineId(0));
+        // Dirty a block of the map's class, then free it so the map's
+        // create reuses it.
+        let b = alloc.alloc(&node, 8).unwrap().unwrap();
+        for cell in 0..8 {
+            node.lstore(Loc::new(b.loc.owner, b.loc.addr.0 + cell), 0xdead)
+                .unwrap();
+        }
+        alloc.free(&node, b.loc).unwrap().unwrap();
+        let m: DurableMap = DurableMap::create(&alloc, &node, 4).unwrap().unwrap();
+        assert_eq!(m.layout().0, b.loc, "recycled block backs the table");
+        for k in 1..=8u64 {
+            assert_eq!(m.get(&node, k).unwrap(), None, "stale contents visible");
+        }
     }
 
     #[test]

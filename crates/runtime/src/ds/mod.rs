@@ -5,8 +5,15 @@
 //! unsoundly (unadapted x86 FliT) or without durability, for comparison.
 //!
 //! All structures are non-blocking (CAS-based), as FliT assumes for
-//! liveness, and never recycle nodes (no ABA; persistent memory
-//! reclamation is out of scope, as in the original FliT work).
+//! liveness. The pointer-based structures (queue, stack, list, map)
+//! allocate — and **reclaim** — their nodes through the
+//! crash-consistent allocator ([`crate::alloc`]): dequeues, pops and
+//! removes return blocks for reuse, so churn workloads run in bounded
+//! memory, and generation-tagged pointer words keep every CAS ABA-safe
+//! under reuse (the Michael–Scott counted-pointer scheme). The
+//! fixed-footprint structures (register, counter, log) still carve
+//! their cells straight from the bump heap: they are roots, never
+//! reclaimed.
 //!
 //! Element types are generic over [`Word`](crate::api::Word) (default
 //! `u64`), and every operation takes `&impl AsNode` — a raw

@@ -1,20 +1,30 @@
-//! A durable Michael–Scott queue, FliT-transformed.
+//! A durable Michael–Scott queue, FliT-transformed, with node
+//! reclamation.
 //!
-//! Layout: header `[head, tail]`, nodes `[value, next]`, with a dummy
-//! node. The tail may lag one node behind (the usual M&S invariant);
-//! every operation helps advance it, and [`DurableQueue::recover`]
-//! performs the same helping after a crash.
+//! Layout: header block `[head, tail]`, node blocks `[value, next]`,
+//! with a dummy node. The tail may lag one node behind (the usual M&S
+//! invariant); every operation helps advance it, and
+//! [`DurableQueue::recover`] performs the same helping after a crash.
+//!
+//! Nodes are allocated from — and on dequeue **returned to** — the
+//! crash-consistent [`Allocator`], so sustained enqueue/dequeue churn
+//! runs in bounded memory. ABA safety under reuse comes from
+//! generation-tagged pointers (this is the counted-pointer scheme of the
+//! original Michael–Scott free-list formulation): head, tail and `next`
+//! cells store [`Allocator::encode`]d words, and a node's `next` is
+//! initialized to [`Allocator::null_ptr`] of its own generation, so a
+//! CAS against any pointer into a node's previous incarnation fails.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
+use crate::alloc::Allocator;
 use crate::api::Word;
 use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
-use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 
 /// A durable lock-free FIFO queue of [`Word`] values (default `u64`).
 ///
@@ -38,57 +48,62 @@ use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 pub struct DurableQueue<T: Word = u64> {
     /// Header: `head` at `header`, `tail` at `header+1`.
     header: Loc,
-    heap: Arc<SharedHeap>,
+    alloc: Arc<Allocator>,
     persist: Arc<dyn Persistence>,
     _values: PhantomData<T>,
 }
 
 impl<T: Word> DurableQueue<T> {
-    /// Allocates an empty queue (header + dummy node) from `heap`; `None`
-    /// if the heap is exhausted.
+    /// Allocates and initializes an empty queue (header block + dummy
+    /// node) through `alloc`; `Ok(None)` if the heap is exhausted.
     ///
-    /// `create` must run before any concurrent access; it initializes the
-    /// header with persistent private stores.
-    pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
-        let header = heap.alloc(2)?;
-        // The dummy node occupies the two cells right after the header;
-        // init() relies on this layout.
-        let _dummy = heap.alloc(2)?;
-        Some(DurableQueue {
-            header,
-            heap: Arc::clone(heap),
-            persist,
-            _values: PhantomData,
-        })
-    }
-
-    /// Initializes the header and dummy node through `at`. Must be
-    /// called exactly once, before any other operation.
+    /// Must run before any concurrent access; the header and dummy are
+    /// initialized with persistent private stores.
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn init(&self, at: &impl AsNode) -> OpResult<()> {
+    pub fn create(alloc: &Arc<Allocator>, at: &impl AsNode) -> OpResult<Option<Self>> {
         let node = at.as_node();
-        // The dummy node is the two cells allocated right after the header.
-        let dummy = Loc::new(self.header.owner, self.header.addr.0 + 2);
-        self.persist
-            .private_store(node, self.next_cell(dummy), NULL_PTR, true)?;
-        self.persist
-            .private_store(node, self.value_cell(dummy), 0, true)?;
-        self.persist
-            .private_store(node, self.head_cell(), encode_ptr(dummy), true)?;
-        self.persist
-            .private_store(node, self.tail_cell(), encode_ptr(dummy), true)?;
-        Ok(())
+        let persist = Arc::clone(alloc.persistence());
+        let Some(header) = alloc.alloc(node, 2)? else {
+            return Ok(None);
+        };
+        let Some(dummy) = alloc.alloc(node, 2)? else {
+            // Routine failure: hand the header block straight back.
+            let _ = alloc.free(node, header.loc)?;
+            return Ok(None);
+        };
+        let q = DurableQueue {
+            header: header.loc,
+            alloc: Arc::clone(alloc),
+            persist,
+            _values: PhantomData,
+        };
+        q.persist
+            .private_store(node, q.value_cell(dummy.loc), 0, true)?;
+        q.persist.private_store(
+            node,
+            q.next_cell(dummy.loc),
+            Allocator::null_ptr(dummy.gen),
+            true,
+        )?;
+        let dummy_enc = Allocator::encode(dummy);
+        q.persist
+            .private_store(node, q.head_cell(), dummy_enc, true)?;
+        q.persist
+            .private_store(node, q.tail_cell(), dummy_enc, true)?;
+        Ok(Some(q))
     }
 
-    /// Attaches to an existing queue header after recovery.
-    pub fn attach(header: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
+    /// Attaches to an existing queue header after recovery. The
+    /// durability strategy is the allocator's — the two can never be a
+    /// mismatched pair.
+    pub fn attach(header: Loc, alloc: Arc<Allocator>) -> Self {
         DurableQueue {
             header,
-            heap,
-            persist,
+            persist: Arc::clone(alloc.persistence()),
+            alloc,
             _values: PhantomData,
         }
     }
@@ -123,49 +138,60 @@ impl<T: Word> DurableQueue<T> {
     pub fn enqueue(&self, at: &impl AsNode, v: T) -> OpResult<bool> {
         let node = at.as_node();
         let raw = v.to_word();
-        let Some(n) = self.heap.alloc(2) else {
+        let Some(n) = self.alloc.alloc(node, 2)? else {
             return Ok(false);
         };
         self.persist
-            .private_store(node, self.value_cell(n), raw, true)?;
-        self.persist
-            .private_store(node, self.next_cell(n), NULL_PTR, true)?;
+            .private_store(node, self.value_cell(n.loc), raw, true)?;
+        self.persist.private_store(
+            node,
+            self.next_cell(n.loc),
+            Allocator::null_ptr(n.gen),
+            true,
+        )?;
+        let n_enc = Allocator::encode(n);
         loop {
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
-            let t = decode_ptr(self.heap.region(), tail).expect("tail is never null");
+            let t = self.alloc.decode(tail).expect("tail is never null");
             let next = self.persist.shared_load(node, self.next_cell(t), true)?;
-            if next == NULL_PTR {
+            // The append CAS must expect the null *of the incarnation we
+            // observed as tail* — never the raw null we happened to
+            // read, which could belong to a recycled incarnation of `t`
+            // (possibly live inside another structure by now). With the
+            // generation pinned, the CAS succeeds only while `t` is
+            // still our tail's incarnation with no successor.
+            let expected_null = Allocator::null_ptr(Allocator::ptr_gen(tail));
+            if next == expected_null {
                 match self.persist.shared_cas(
                     node,
                     self.next_cell(t),
-                    NULL_PTR,
-                    encode_ptr(n),
+                    expected_null,
+                    n_enc,
                     true,
                 )? {
                     Ok(_) => {
                         // Linearized; help swing the tail.
-                        let _ = self.persist.shared_cas(
-                            node,
-                            self.tail_cell(),
-                            tail,
-                            encode_ptr(n),
-                            true,
-                        )?;
+                        let _ =
+                            self.persist
+                                .shared_cas(node, self.tail_cell(), tail, n_enc, true)?;
                         self.persist.complete_op(node)?;
                         return Ok(true);
                     }
                     Err(_) => continue,
                 }
-            } else {
+            } else if self.alloc.decode(next).is_some() {
                 // Tail lagging: help.
                 let _ = self
                     .persist
                     .shared_cas(node, self.tail_cell(), tail, next, true)?;
             }
+            // Otherwise: a null of a foreign generation — `t` was
+            // recycled under us; the snapshot is garbage, re-read.
         }
     }
 
-    /// Dequeues from the head, or returns `None` when empty.
+    /// Dequeues from the head, or returns `None` when empty. The
+    /// retired node (the old dummy) is reclaimed through the allocator.
     ///
     /// # Errors
     ///
@@ -175,10 +201,19 @@ impl<T: Word> DurableQueue<T> {
         loop {
             let head = self.persist.shared_load(node, self.head_cell(), true)?;
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
-            let h = decode_ptr(self.heap.region(), head).expect("head is never null");
+            let h = self.alloc.decode(head).expect("head is never null");
             let next = self.persist.shared_load(node, self.next_cell(h), true)?;
+            // The Michael–Scott consistency re-check. Under reclamation
+            // it is load-bearing, not an optimization: if `h` was
+            // dequeued, freed and recycled while we read `tail`/`next`,
+            // `next` belongs to the new incarnation (it can even be a
+            // fresh null). The generation-tagged head makes the
+            // re-check exact — a recycled `h` cannot masquerade.
+            if self.persist.shared_load(node, self.head_cell(), true)? != head {
+                continue;
+            }
             if head == tail {
-                if next == NULL_PTR {
+                if self.alloc.decode(next).is_none() {
                     self.persist.complete_op(node)?;
                     return Ok(None);
                 }
@@ -187,13 +222,24 @@ impl<T: Word> DurableQueue<T> {
                     .persist
                     .shared_cas(node, self.tail_cell(), tail, next, true)?;
             } else {
-                let nx = decode_ptr(self.heap.region(), next).expect("non-tail next");
+                // Validated snapshot with head ≠ tail: the head node has
+                // a live successor. (Defensively retry rather than
+                // panic if that is ever violated.)
+                let Some(nx) = self.alloc.decode(next) else {
+                    continue;
+                };
                 let v = self.persist.shared_load(node, self.value_cell(nx), true)?;
                 match self
                     .persist
                     .shared_cas(node, self.head_cell(), head, next, true)?
                 {
                     Ok(_) => {
+                        // We unlinked the old dummy `h`; no pointer to it
+                        // remains in the queue (stale readers only ever
+                        // CAS against its retired generation), so
+                        // reclaim it for reuse.
+                        let freed = self.alloc.free(node, h)?;
+                        debug_assert!(freed.is_ok(), "dequeue winner owns the old dummy");
                         self.persist.complete_op(node)?;
                         return Ok(Some(T::from_word(v)));
                     }
@@ -204,8 +250,11 @@ impl<T: Word> DurableQueue<T> {
     }
 
     /// Post-crash repair: advance a lagging tail (the only transient
-    /// inconsistency a crash can leave; the CAS-published list itself is
-    /// always consistent).
+    /// inconsistency a crash can leave in the list; a mid-operation
+    /// allocator tear is repaired separately by
+    /// [`Allocator::recover`], which
+    /// [`Session::recover_roots`](crate::api::Session::recover_roots)
+    /// runs for you).
     ///
     /// # Errors
     ///
@@ -214,9 +263,9 @@ impl<T: Word> DurableQueue<T> {
         let node = at.as_node();
         loop {
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;
-            let t = decode_ptr(self.heap.region(), tail).expect("tail is never null");
+            let t = self.alloc.decode(tail).expect("tail is never null");
             let next = self.persist.shared_load(node, self.next_cell(t), true)?;
-            if next == NULL_PTR {
+            if self.alloc.decode(next).is_none() {
                 return Ok(());
             }
             let _ = self
@@ -248,9 +297,14 @@ mod tests {
 
     fn setup() -> (Arc<SimFabric>, DurableQueue) {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 8192));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
-        let q = DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
-        q.init(&f.node(MachineId(0))).unwrap();
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let q = DurableQueue::create(&alloc, &f.node(MachineId(0)))
+            .unwrap()
+            .unwrap();
         (f, q)
     }
 
@@ -268,14 +322,36 @@ mod tests {
     #[test]
     fn typed_queue_round_trips_signed_values() {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 1024));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(1)));
-        let q: DurableQueue<i64> =
-            DurableQueue::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(1),
+            Arc::new(FlitCxl0::default()),
+        ));
         let node = f.node(MachineId(0));
-        q.init(&node).unwrap();
+        let q: DurableQueue<i64> = DurableQueue::create(&alloc, &node).unwrap().unwrap();
         q.enqueue(&node, -7).unwrap();
         q.enqueue(&node, i64::MIN).unwrap();
         assert_eq!(q.drain(&node).unwrap(), vec![-7, i64::MIN]);
+    }
+
+    #[test]
+    fn churn_reuses_nodes_in_bounded_memory() {
+        // A region with room for only a handful of nodes sustains churn
+        // far past its bump capacity because dequeue reclaims.
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(1),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let node = f.node(MachineId(0));
+        let q: DurableQueue = DurableQueue::create(&alloc, &node).unwrap().unwrap();
+        for i in 0..2000u64 {
+            assert!(q.enqueue(&node, i + 1).unwrap(), "op {i}: must not exhaust");
+            assert_eq!(q.dequeue(&node).unwrap(), Some(i + 1));
+        }
+        let stats = alloc.stats();
+        assert!(stats.freelist_hits > 1500, "churn must reuse nodes");
     }
 
     #[test]
@@ -348,6 +424,53 @@ mod tests {
         got.sort_unstable();
         got.dedup();
         assert_eq!(got.len() as u64, per * producers as u64);
+    }
+
+    #[test]
+    fn concurrent_churn_over_recycled_nodes_stays_consistent() {
+        // Regression test for the reclamation races the churn bench
+        // caught: without the M&S consistency re-check in dequeue, a
+        // recycled old head's fresh null panicked the decode; without
+        // the generation-pinned append null, an enqueue could splice
+        // into a recycled incarnation. High contention on a small
+        // region maximizes recycling.
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 512));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let q: DurableQueue = DurableQueue::create(&alloc, &f.node(MachineId(0)))
+            .unwrap()
+            .unwrap();
+        let total = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = q.clone();
+            let node = f.node(MachineId((t % 2) as usize));
+            let total = Arc::clone(&total);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..2500u64 {
+                    assert!(q.enqueue(&node, t * 100_000 + i + 1).unwrap());
+                    if let Some(v) = q.dequeue(&node).unwrap() {
+                        total.fetch_add(v % 100_000, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let node = f.node(MachineId(0));
+        let rest: u64 = q.drain(&node).unwrap().iter().map(|v| v % 100_000).sum();
+        // Conservation: every enqueued payload is dequeued exactly once.
+        let expect: u64 = 4 * (1..=2500u64).sum::<u64>();
+        assert_eq!(
+            total.load(std::sync::atomic::Ordering::Relaxed) + rest,
+            expect
+        );
+        let s = alloc.stats();
+        assert!(s.freelist_hits > 5_000, "churn must recycle heavily");
     }
 
     #[test]

@@ -1,20 +1,24 @@
-//! A durable Treiber stack: the classic lock-free stack, FliT-transformed.
+//! A durable Treiber stack: the classic lock-free stack,
+//! FliT-transformed, with node reclamation.
 //!
 //! Node layout: `[value, next]`. New nodes are initialized with
 //! `private_store` (nobody can see them before the publishing CAS; the
 //! persistence flag makes them durable *before* publication, as FliT
 //! requires), then published with `shared_cas` on the `top` pointer.
+//! Popped nodes are returned to the crash-consistent [`Allocator`];
+//! the generation-tagged pointer words it hands out are what protect
+//! the `top` CAS from ABA under reuse.
 
 use std::marker::PhantomData;
 use std::sync::Arc;
 
 use cxl0_model::Loc;
 
+use crate::alloc::Allocator;
 use crate::api::Word;
 use crate::backend::AsNode;
 use crate::error::OpResult;
 use crate::flit::Persistence;
-use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 
 /// A durable lock-free LIFO stack of [`Word`] values (default `u64`).
 ///
@@ -37,31 +41,43 @@ use crate::heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 #[derive(Debug, Clone)]
 pub struct DurableStack<T: Word = u64> {
     top: Loc,
-    heap: Arc<SharedHeap>,
+    alloc: Arc<Allocator>,
     persist: Arc<dyn Persistence>,
     _values: PhantomData<T>,
 }
 
 impl<T: Word> DurableStack<T> {
-    /// Allocates an empty stack (one `top` cell) from `heap`; `None` if
-    /// the heap is exhausted.
-    pub fn create(heap: &Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Option<Self> {
-        let top = heap.alloc(1)?;
-        Some(DurableStack {
-            top,
-            heap: Arc::clone(heap),
+    /// Allocates an empty stack (one `top` cell) through `alloc`;
+    /// `Ok(None)` if the heap is exhausted.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    pub fn create(alloc: &Arc<Allocator>, at: &impl AsNode) -> OpResult<Option<Self>> {
+        let node = at.as_node();
+        let persist = Arc::clone(alloc.persistence());
+        let Some(top) = alloc.alloc(node, 1)? else {
+            return Ok(None);
+        };
+        // The top block may be recycled memory: empty is a plain zero.
+        persist.private_store(node, top.loc, 0, true)?;
+        Ok(Some(DurableStack {
+            top: top.loc,
+            alloc: Arc::clone(alloc),
             persist,
             _values: PhantomData,
-        })
+        }))
     }
 
     /// Attaches to an existing stack after recovery: the `top` cell and
-    /// the node heap region are all the state there is.
-    pub fn attach(top: Loc, heap: Arc<SharedHeap>, persist: Arc<dyn Persistence>) -> Self {
+    /// the node heap region are all the state there is. The durability
+    /// strategy is the allocator's — the two can never be a mismatched
+    /// pair.
+    pub fn attach(top: Loc, alloc: Arc<Allocator>) -> Self {
         DurableStack {
             top,
-            heap,
-            persist,
+            persist: Arc::clone(alloc.persistence()),
+            alloc,
             _values: PhantomData,
         }
     }
@@ -88,20 +104,18 @@ impl<T: Word> DurableStack<T> {
     pub fn push(&self, at: &impl AsNode, v: T) -> OpResult<bool> {
         let node = at.as_node();
         let raw = v.to_word();
-        let Some(n) = self.heap.alloc(2) else {
+        let Some(n) = self.alloc.alloc(node, 2)? else {
             return Ok(false);
         };
         // Initialize privately; persist before publication.
         self.persist
-            .private_store(node, self.value_cell(n), raw, true)?;
+            .private_store(node, self.value_cell(n.loc), raw, true)?;
+        let n_enc = Allocator::encode(n);
         loop {
             let top = self.persist.shared_load(node, self.top, true)?;
             self.persist
-                .private_store(node, self.next_cell(n), top, true)?;
-            match self
-                .persist
-                .shared_cas(node, self.top, top, encode_ptr(n), true)?
-            {
+                .private_store(node, self.next_cell(n.loc), top, true)?;
+            match self.persist.shared_cas(node, self.top, top, n_enc, true)? {
                 Ok(_) => {
                     self.persist.complete_op(node)?;
                     return Ok(true);
@@ -111,7 +125,8 @@ impl<T: Word> DurableStack<T> {
         }
     }
 
-    /// Pops the top value, or `None` when empty.
+    /// Pops the top value, or `None` when empty. The popped node is
+    /// reclaimed through the allocator.
     ///
     /// # Errors
     ///
@@ -120,7 +135,7 @@ impl<T: Word> DurableStack<T> {
         let node = at.as_node();
         loop {
             let top = self.persist.shared_load(node, self.top, true)?;
-            let Some(t) = decode_ptr(self.heap.region(), top) else {
+            let Some(t) = self.alloc.decode(top) else {
                 self.persist.complete_op(node)?;
                 return Ok(None);
             };
@@ -128,6 +143,10 @@ impl<T: Word> DurableStack<T> {
             let v = self.persist.shared_load(node, self.value_cell(t), true)?;
             match self.persist.shared_cas(node, self.top, top, next, true)? {
                 Ok(_) => {
+                    // The generation-tagged CAS makes us the unique
+                    // unlinker of this incarnation: reclaim it.
+                    let freed = self.alloc.free(node, t)?;
+                    debug_assert!(freed.is_ok(), "pop winner owns the node");
                     self.persist.complete_op(node)?;
                     return Ok(Some(T::from_word(v)));
                 }
@@ -159,9 +178,8 @@ impl<T: Word> DurableStack<T> {
         let node = at.as_node();
         let mut n = 0;
         let mut cur = self.persist.shared_load(node, self.top, true)?;
-        while cur != NULL_PTR {
+        while let Some(c) = self.alloc.decode(cur) {
             n += 1;
-            let c = decode_ptr(self.heap.region(), cur).expect("non-null decodes");
             cur = self.persist.shared_load(node, self.next_cell(c), true)?;
         }
         Ok(n)
@@ -173,7 +191,8 @@ impl<T: Word> DurableStack<T> {
     ///
     /// Fails if the issuing machine has crashed.
     pub fn is_empty(&self, at: &impl AsNode) -> OpResult<bool> {
-        Ok(self.persist.shared_load(at.as_node(), self.top, true)? == NULL_PTR)
+        let raw = self.persist.shared_load(at.as_node(), self.top, true)?;
+        Ok(self.alloc.decode(raw).is_none())
     }
 }
 
@@ -187,8 +206,14 @@ mod tests {
 
     fn setup() -> (Arc<SimFabric>, DurableStack) {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 4096));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(2)));
-        let s = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let s = DurableStack::create(&alloc, &f.node(MachineId(0)))
+            .unwrap()
+            .unwrap();
         (f, s)
     }
 
@@ -243,11 +268,33 @@ mod tests {
     }
 
     #[test]
-    fn heap_exhaustion_reports_false() {
-        let f = SimFabric::new(SystemConfig::symmetric_nvm(1, 3));
-        let heap = Arc::new(SharedHeap::new(f.config(), MachineId(0)));
-        let s = DurableStack::create(&heap, Arc::new(FlitCxl0::default())).unwrap();
+    fn push_pop_churn_reuses_nodes() {
+        // Region with room for only a handful of node blocks.
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(1),
+            Arc::new(FlitCxl0::default()),
+        ));
         let node = f.node(MachineId(0));
+        let s: DurableStack = DurableStack::create(&alloc, &node).unwrap().unwrap();
+        for i in 0..1000u64 {
+            assert!(s.push(&node, i + 1).unwrap(), "op {i}: must not exhaust");
+            assert_eq!(s.pop(&node).unwrap(), Some(i + 1));
+        }
+        assert!(alloc.stats().freelist_hits > 900);
+    }
+
+    #[test]
+    fn heap_exhaustion_reports_false() {
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(1, crate::alloc::META_CELLS + 5));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(0),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let node = f.node(MachineId(0));
+        let s: DurableStack = DurableStack::create(&alloc, &node).unwrap().unwrap();
         assert!(s.push(&node, 1).unwrap());
         assert!(!s.push(&node, 2).unwrap()); // out of cells
     }

@@ -49,14 +49,15 @@ use crate::flit::{FlitTable, Persistence};
 ///
 /// ```
 /// use std::sync::Arc;
-/// use cxl0_runtime::{SimFabric, SharedHeap, DurableQueue, FlitAsync};
+/// use cxl0_runtime::{SimFabric, DurableQueue, FlitAsync, Persistence};
+/// use cxl0_runtime::alloc::Allocator;
 /// use cxl0_model::{SystemConfig, MachineId};
 ///
 /// let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1024));
-/// let heap = Arc::new(SharedHeap::new(fabric.config(), MachineId(2)));
-/// let queue = DurableQueue::create(&heap, Arc::new(FlitAsync::default())).unwrap();
+/// let persist: Arc<dyn Persistence> = Arc::new(FlitAsync::default());
+/// let alloc = Arc::new(Allocator::over_region(fabric.config(), MachineId(2), persist));
 /// let node = fabric.node(MachineId(0));
-/// queue.init(&node)?;
+/// let queue = DurableQueue::create(&alloc, &node)?.unwrap();
 /// queue.enqueue(&node, 7)?;
 ///
 /// fabric.crash(MachineId(2));

@@ -3,12 +3,14 @@
 //! Data-structure nodes live in the shared (usually non-volatile) segment
 //! of a designated memory node; this allocator hands out fresh
 //! cache-line-granular cells from that segment. Allocation metadata is a
-//! process-local atomic — persistent allocator recovery is out of scope
-//! here, exactly as in the original FliT work (the structures themselves
-//! never recycle nodes, so a monotonic bump pointer is crash-safe: cells
-//! allocated by a crashed operation are simply leaked). Failed
-//! allocations are side-effect-free: the bump only advances when the
-//! request fits.
+//! process-local atomic, and the bump is monotonic — crash-safe by
+//! construction (cells allocated by a crashed operation are simply
+//! leaked). Reclamation and crash-consistent recovery live one layer up,
+//! in [`crate::alloc`], which wraps a `SharedHeap` as its bump tail;
+//! this raw layer remains for fixed-footprint roots (registers,
+//! counters, logs, the registry and epoch machinery) and low-level
+//! experiments. Failed allocations are side-effect-free: the bump only
+//! advances when the request fits.
 
 use std::sync::atomic::{AtomicU32, Ordering};
 
@@ -115,14 +117,19 @@ impl SharedHeap {
 /// Encodes a location as a non-zero pointer value for storage in shared
 /// memory cells (`0` is the null pointer). Only locations within the
 /// pointed-to structure's region are encoded, so the address alone
-/// suffices.
+/// suffices. (The crash-consistent allocator layers a generation tag on
+/// top of this scheme — see [`crate::alloc`]; this bare encoding serves
+/// low-level code that manages its own cells.)
 pub fn encode_ptr(loc: Loc) -> u64 {
     u64::from(loc.addr.0) + 1
 }
 
-/// Decodes [`encode_ptr`]'s encoding; `0` decodes to `None`.
-pub fn decode_ptr(region: MachineId, raw: u64) -> Option<Loc> {
-    if raw == 0 {
+/// Decodes [`encode_ptr`]'s encoding; `0` decodes to `None`, and so
+/// does any address at or beyond `extent` (the region's cell count, or
+/// the structure's own sub-range) — a stale or corrupted word can never
+/// decode into another allocation's range and be silently dereferenced.
+pub fn decode_ptr(region: MachineId, extent: u32, raw: u64) -> Option<Loc> {
+    if raw == 0 || raw > u64::from(extent) {
         None
     } else {
         Some(Loc::new(region, (raw - 1) as u32))
@@ -193,8 +200,48 @@ mod tests {
         let loc = Loc::new(m, 42);
         let raw = encode_ptr(loc);
         assert_ne!(raw, NULL_PTR);
-        assert_eq!(decode_ptr(m, raw), Some(loc));
-        assert_eq!(decode_ptr(m, NULL_PTR), None);
+        assert_eq!(decode_ptr(m, 64, raw), Some(loc));
+        assert_eq!(decode_ptr(m, 64, NULL_PTR), None);
+    }
+
+    #[test]
+    fn decode_rejects_out_of_extent_addresses() {
+        let m = MachineId(0);
+        // The last in-extent address decodes; one past does not.
+        assert_eq!(
+            decode_ptr(m, 64, encode_ptr(Loc::new(m, 63))),
+            Some(Loc::new(m, 63))
+        );
+        assert_eq!(decode_ptr(m, 64, encode_ptr(Loc::new(m, 64))), None);
+        assert_eq!(decode_ptr(m, 64, u64::MAX), None);
+        assert_eq!(decode_ptr(m, 0, 1), None);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Round trip: any in-extent location survives
+            /// encode → decode; anything at or past the extent is
+            /// rejected rather than aliased into range.
+            #[test]
+            fn encode_decode_round_trips_and_respects_extent(
+                addr in proptest::arbitrary::any::<u32>(),
+                extent in proptest::arbitrary::any::<u32>(),
+            ) {
+                let m = MachineId(2);
+                let raw = encode_ptr(Loc::new(m, addr));
+                prop_assert!(raw != NULL_PTR);
+                let decoded = decode_ptr(m, extent, raw);
+                if addr < extent {
+                    prop_assert_eq!(decoded, Some(Loc::new(m, addr)));
+                } else {
+                    prop_assert_eq!(decoded, None);
+                }
+                prop_assert_eq!(decode_ptr(m, extent, NULL_PTR), None);
+            }
+        }
     }
 
     #[test]

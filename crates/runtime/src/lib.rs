@@ -28,8 +28,13 @@
 //!   *buffered* durably linearizable (`cxl0-dlcheck::buffered`).
 //! * [`ds`] — durable data structures written once against
 //!   [`Persistence`]: register, counter, Treiber stack, Michael–Scott
-//!   queue, hash map.
-//! * [`heap`] — a bump allocator over a machine's shared segment.
+//!   queue, hash map — allocating and **reclaiming** their nodes through
+//!   the crash-consistent allocator.
+//! * [`alloc`] — the crash-consistent size-class allocator over the
+//!   memory node's durable segment: per-class free lists, durable
+//!   allocation intents, generation-tagged (ABA-safe) pointers and a
+//!   recovery sweep.
+//! * [`heap`] — the raw bump tail the allocator builds on.
 //! * [`cost`] — simulated per-primitive latencies (Figure-5 shaped).
 //!
 //! ## Quick example
@@ -64,6 +69,7 @@
 #![warn(missing_debug_implementations)]
 #![forbid(unsafe_code)]
 
+pub mod alloc;
 pub mod api;
 pub mod backend;
 pub mod buffered;
@@ -75,6 +81,7 @@ pub mod flit_async;
 pub mod heap;
 pub mod snapshot;
 
+pub use alloc::{AllocStats, Allocator, BlockRef, FreeError};
 pub use api::{ApiError, ApiResult, Cluster, ClusterBuilder, PersistMode, Session, Word};
 pub use backend::{AsNode, NodeHandle, SimFabric, Stats, StatsSnapshot};
 pub use buffered::BufferedEpoch;

@@ -139,6 +139,14 @@ impl OpMix {
         OpMix::new(34, 33, 33)
     }
 
+    /// Allocation churn: a balanced 50/50 insert/remove mix with no
+    /// reads — every operation allocates or reclaims a node, the
+    /// worst case for the memory allocator (used by the `--churn`
+    /// perf sweep and `examples/alloc_churn.rs`).
+    pub fn alloc_churn() -> Self {
+        OpMix::new(0, 50, 50)
+    }
+
     /// Write-only.
     pub fn write_only() -> Self {
         OpMix::new(0, 100, 0)
@@ -297,5 +305,20 @@ mod tests {
     #[should_panic(expected = "sum to 100")]
     fn bad_mix_rejected() {
         let _ = OpMix::new(50, 50, 50);
+    }
+
+    #[test]
+    fn alloc_churn_is_balanced_and_readless() {
+        let mix = OpMix::alloc_churn();
+        assert_eq!(mix.read_pct, 0);
+        assert_eq!(mix.insert_pct, mix.remove_pct);
+        let mut w = Workload::new(KeyDist::uniform(64), mix, 21);
+        let ops = w.take_ops(4_000);
+        assert!(ops.iter().all(|o| !matches!(o, WorkloadOp::Read(_))));
+        let inserts = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Insert(..)))
+            .count();
+        assert!((1_700..2_300).contains(&inserts), "{inserts}");
     }
 }

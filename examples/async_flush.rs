@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The cluster supplies fabric + heap; the strategies under
         // comparison are constructed concretely (their raise_counter
         // testing hooks are not on the Persistence trait).
-        let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 64))
+        let cluster = Cluster::builder(SystemConfig::symmetric_nvm(3, 256))
             .persist(PersistMode::None)
             .root_capacity(0)
             .build()

@@ -19,10 +19,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let m1 = MachineId(1);
     // Raw (unflushed) stores are the point here, so build the cluster
     // without a durability strategy and drive the sessions' node handles.
-    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 8))
+    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 128))
         .persist(PersistMode::None)
         .root_capacity(0)
         .build()?;
+    // Raw stores on the memory node stay above the crash-consistent
+    // allocator's metadata cells (the escape hatch can scribble
+    // anywhere, but clobbering allocator state is nobody's idea of a
+    // walkthrough).
+    const BASE: u32 = 120;
     let fabric = cluster.fabric();
     let s0 = cluster.session(m0);
     let s1 = cluster.session(m1);
@@ -30,19 +35,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("=== Round 1: unflushed stores from both machines ===\n");
     for a in 0..4 {
-        n0.lstore(Loc::new(m1, a), 100 + u64::from(a))?; // m0 writes m1's memory
+        n0.lstore(Loc::new(m1, BASE + a), 100 + u64::from(a))?; // m0 writes m1's memory
         n1.lstore(Loc::new(m0, a), 200 + u64::from(a))?; // m1 writes m0's memory
     }
     println!(
         "before GPF: x[m1:a0] cached-but-not-persistent? {}",
-        fabric.is_cached(Loc::new(m1, 0))
+        fabric.is_cached(Loc::new(m1, BASE))
     );
 
     let checkpoint1 = take_gpf_snapshot(n0)?;
     println!("GPF snapshot taken: {checkpoint1}");
     println!(
         "after GPF: x[m1:a0] cached? {} (drained to memory)",
-        fabric.is_cached(Loc::new(m1, 0))
+        fabric.is_cached(Loc::new(m1, BASE))
     );
 
     println!("\n=== Both machines crash right after the checkpoint ===\n");
@@ -59,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("all {intact} locations recovered exactly as snapshotted");
 
     println!("\n=== Round 2: more work, second checkpoint, diff ===\n");
-    n0.lstore(Loc::new(m1, 0), 999)?;
+    n0.lstore(Loc::new(m1, BASE), 999)?;
     n1.mstore(Loc::new(m0, 7), 42)?;
     let checkpoint2 = take_gpf_snapshot(n0)?;
     println!("changes between checkpoints:");

@@ -70,11 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Part 2: the same story on the executable runtime ===\n");
     // A cluster owns the fabric; raw primitives are the session's
     // low-level escape hatch (`session.node()`). No durability strategy
-    // here — this part drives the primitives themselves.
-    let cluster = Cluster::builder(cfg)
+    // here — this part drives the primitives themselves. The segment is
+    // larger than part 1's single cell because every cluster reserves
+    // the crash-consistent allocator's metadata; `y` sits above it.
+    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 128))
         .persist(PersistMode::None)
         .root_capacity(0)
         .build()?;
+    let y = Loc::new(right, 127);
     let session = cluster.session(left);
     let node = session.node();
     node.mstore(x, 1)?;

@@ -18,6 +18,7 @@ use cxl0::dlcheck::spec::{QueueOp, QueueRet, QueueSpec, RegisterOp, RegisterRet,
 use cxl0::dlcheck::{check_durably_linearizable, Recorder, ThreadId};
 use cxl0::explore::paper_async::{async_flush_tests, check_aflush_barrier_equivalence};
 use cxl0::model::{MachineId, SystemConfig};
+use cxl0::runtime::alloc::Allocator;
 use cxl0::runtime::{
     DurableQueue, DurableRegister, FlitAsync, FlitCxl0, Persistence, SharedHeap, SimFabric,
 };
@@ -139,10 +140,11 @@ fn flit_async_register_durably_linearizable_under_crash() {
 #[test]
 fn flit_async_queue_durably_linearizable_under_crash() {
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 15));
-    let heap = Arc::new(SharedHeap::new(fabric.config(), MEM));
     let p: Arc<dyn Persistence> = Arc::new(FlitAsync::default());
-    let queue = DurableQueue::create(&heap, p).unwrap();
-    queue.init(&fabric.node(MachineId(0))).unwrap();
+    let alloc = Arc::new(Allocator::over_region(fabric.config(), MEM, p));
+    let queue = DurableQueue::create(&alloc, &fabric.node(MachineId(0)))
+        .unwrap()
+        .unwrap();
     let recorder: Recorder<QueueOp, QueueRet> = Recorder::new();
     {
         let queue = queue.clone();

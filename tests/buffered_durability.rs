@@ -17,6 +17,7 @@ use cxl0::dlcheck::buffered::check_buffered_durably_linearizable;
 use cxl0::dlcheck::spec::{QueueOp, QueueRet, QueueSpec, RegisterOp, RegisterRet, RegisterSpec};
 use cxl0::dlcheck::{check_durably_linearizable, Recorder, ThreadId};
 use cxl0::model::{MachineId, SystemConfig};
+use cxl0::runtime::alloc::Allocator;
 use cxl0::runtime::{
     BufferedEpoch, DurableQueue, DurableRegister, FlitCxl0, Persistence, SharedHeap, SimFabric,
 };
@@ -33,11 +34,19 @@ fn setup() -> (Arc<SimFabric>, Arc<SharedHeap>) {
 fn buffered_queue_fails_strict_but_passes_buffered() {
     let (fabric, heap) = setup();
     let b = Arc::new(BufferedEpoch::create(&heap, 512, 0).unwrap());
-    let queue = DurableQueue::create(&heap, Arc::clone(&b) as Arc<dyn Persistence>).unwrap();
+    // The epoch machinery bumped the front of the region; the allocator
+    // takes the untouched upper half.
+    let alloc = Arc::new(Allocator::with_range(
+        fabric.config(),
+        MEM,
+        1 << 13,
+        1 << 13,
+        Arc::clone(&b) as Arc<dyn Persistence>,
+    ));
     let node = fabric.node(MachineId(0));
+    let queue = DurableQueue::create(&alloc, &node).unwrap().unwrap();
     let rec: Recorder<QueueOp, QueueRet> = Recorder::new();
 
-    queue.init(&node).unwrap();
     b.sync(&node).unwrap(); // checkpoint 1: the empty queue
 
     // Two enqueues inside the durable window...

@@ -32,13 +32,15 @@ fn durable_queue_survives_memory_node_crash() -> Result<(), ApiError> {
 
 #[test]
 fn low_level_escape_hatch_still_reaches_primitives() {
-    // The raw layer stays available for primitive-level tests.
-    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 16))
+    // The raw layer stays available for primitive-level tests. (Even a
+    // registry-less cluster reserves the crash-consistent allocator's
+    // metadata cells, so the segment cannot be arbitrarily tiny.)
+    let cluster = Cluster::builder(SystemConfig::symmetric_nvm(2, 128))
         .root_capacity(0)
         .build()
         .unwrap();
     let session = cluster.session(MachineId(0));
-    let x = cxl0::model::Loc::new(MachineId(1), 15);
+    let x = cxl0::model::Loc::new(MachineId(1), 127);
     session.node().lstore(x, 9).unwrap();
     session.node().rflush(x).unwrap();
     assert_eq!(cluster.fabric().peek_memory(x), 9);
