@@ -22,22 +22,33 @@
 //! hit rate, high-water cells) alongside throughput — the row that
 //! catches allocator regressions in the perf trajectory.
 //!
+//! With `--combined` a fourth sweep runs: plain vs flat-combining
+//! fronts (`cxl0::ds::combine`) on one shared queue *and* one shared
+//! stack per `PersistMode`, same thread counts — the rows that record
+//! the batched-persistence win, with the combiner's batch/elimination
+//! counters attached to each combined row.
+//!
 //! ```text
-//! perf_baseline [--quick] [--churn] [--out PATH] [--label NAME] [--baseline PATH]
+//! perf_baseline [--quick] [--churn] [--combined] [--out PATH] [--label NAME] [--baseline PATH]
 //! ```
 //!
 //! `--baseline` embeds a previous run's JSON verbatim under `"baseline"`
 //! and, when that run carries a `primitive_8t_mops` summary, reports the
 //! 8-thread primitive speedup against it — this is how the committed
 //! `BENCH_fabric.json` records before/after across a backend change.
+//!
+//! Timing discipline: every row's cluster, structure and per-worker
+//! sessions are built **once**, before any timed region; repetitions
+//! reuse the same persistent workers behind a barrier pair, so
+//! plain-vs-combined deltas measure the hot path, not setup cost.
 
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 use cxl0_bench::{bench_cluster, MEM_NODE};
 use cxl0_model::{Loc, MachineId, StoreKind, SystemConfig};
-use cxl0_runtime::api::PersistMode;
-use cxl0_runtime::{AllocStats, SimFabric};
+use cxl0_runtime::api::{Cluster, PersistMode};
+use cxl0_runtime::{AllocStats, SimFabric, StatsSnapshot};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// Thread counts of the sweep, per the ISSUE: 1/2/4/8.
@@ -48,6 +59,7 @@ const LOCS_PER_THREAD: u32 = 64;
 struct Options {
     quick: bool,
     churn: bool,
+    combined: bool,
     out: String,
     label: String,
     baseline: Option<String>,
@@ -57,6 +69,7 @@ fn parse_args() -> Options {
     let mut opts = Options {
         quick: false,
         churn: false,
+        combined: false,
         out: "BENCH_fabric.json".to_string(),
         label: "run".to_string(),
         baseline: None,
@@ -66,6 +79,7 @@ fn parse_args() -> Options {
         match a.as_str() {
             "--quick" => opts.quick = true,
             "--churn" => opts.churn = true,
+            "--combined" => opts.combined = true,
             "--out" => opts.out = args.next().expect("--out takes a path"),
             "--label" => {
                 let label = args.next().expect("--label takes a name");
@@ -78,16 +92,18 @@ fn parse_args() -> Options {
             }
             "--baseline" => opts.baseline = Some(args.next().expect("--baseline takes a path")),
             other => {
-                panic!("unknown argument {other:?} (try --quick/--churn/--out/--label/--baseline)")
+                panic!(
+                    "unknown argument {other:?} (try --quick/--churn/--combined/--out/--label/--baseline)"
+                )
             }
         }
     }
     opts
 }
 
-/// One measured row of either sweep.
+/// One measured row of any sweep.
 struct Row {
-    mode: &'static str,
+    mode: String,
     threads: usize,
     ops: u64,
     wall_ns: u64,
@@ -96,6 +112,9 @@ struct Row {
     /// there (the cost model is semantics, not performance).
     sim_ns: u64,
     sim_ns_per_op: f64,
+    /// Extra JSON fields (already `,`-prefixed), e.g. the combined
+    /// sweep's batch counters. Empty for most rows.
+    extra: String,
 }
 
 impl Row {
@@ -105,14 +124,15 @@ impl Row {
 
     fn to_json(&self) -> String {
         format!(
-            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"wall_ns\":{},\"mops_per_sec\":{:.3},\"sim_ns\":{},\"sim_ns_per_op\":{:.3}}}",
+            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"wall_ns\":{},\"mops_per_sec\":{:.3},\"sim_ns\":{},\"sim_ns_per_op\":{:.3}{}}}",
             self.mode,
             self.threads,
             self.ops,
             self.wall_ns,
             self.mops_per_sec(),
             self.sim_ns,
-            self.sim_ns_per_op
+            self.sim_ns_per_op,
+            self.extra
         )
     }
 }
@@ -127,6 +147,7 @@ const BARRIER_EVERY: u64 = 8;
 /// What each worker reports: its own start/end instants (the driver may
 /// be descheduled around the start barrier, so aggregate wall time is
 /// `max(end) - min(start)` across workers) and the ops it issued.
+#[derive(Clone, Copy)]
 struct WorkerReport {
     start: Instant,
     end: Instant,
@@ -209,55 +230,230 @@ fn primitive_row(threads: usize, units: u64) -> Row {
         "fabric counters must aggregate exactly to the issued op count"
     );
     Row {
-        mode: "primitives",
+        mode: "primitives".to_string(),
         threads,
         ops,
         wall_ns,
         sim_ns: delta.sim_ns,
         sim_ns_per_op: delta.sim_ns as f64 / ops as f64,
+        extra: String::new(),
+    }
+}
+
+/// Drives one structure-sweep row with persistent workers: per-worker
+/// state (session, structure handle) is built by `make_work` **once**,
+/// before any timed region; each of the `reps` repetitions is gated by
+/// a barrier pair and timed separately, and the fastest rep is
+/// reported. This keeps session/cluster setup entirely out of the
+/// numbers, so plain-vs-combined deltas compare hot paths only.
+fn structure_row(
+    mode: String,
+    threads: usize,
+    reps: u64,
+    cluster: &Arc<Cluster>,
+    make_work: &mut dyn FnMut(usize) -> Box<dyn FnMut() -> u64 + Send>,
+) -> Row {
+    let gate = Arc::new(Barrier::new(threads + 1));
+    let mut handles = Vec::with_capacity(threads);
+    for t in 0..threads {
+        let mut work = make_work(t);
+        let gate = Arc::clone(&gate);
+        handles.push(std::thread::spawn(move || {
+            let mut reports = Vec::with_capacity(reps as usize);
+            for _ in 0..reps {
+                gate.wait();
+                let start = Instant::now();
+                let ops = work();
+                reports.push(WorkerReport {
+                    start,
+                    end: Instant::now(),
+                    ops,
+                });
+                gate.wait();
+            }
+            reports
+        }));
+    }
+    let mut deltas: Vec<StatsSnapshot> = Vec::with_capacity(reps as usize);
+    for _ in 0..reps {
+        let before = cluster.stats_snapshot();
+        gate.wait(); // release the workers into the timed region
+        gate.wait(); // wait for every worker to finish the rep
+        deltas.push(cluster.stats_snapshot().since(&before));
+    }
+    let per_thread: Vec<Vec<WorkerReport>> =
+        handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut best: Option<(u64, u64, StatsSnapshot)> = None;
+    for (rep, delta) in deltas.iter().enumerate() {
+        let (wall_ns, ops) = wall_and_ops(per_thread.iter().map(|v| v[rep]).collect());
+        match &best {
+            Some((best_wall, best_ops, _)) => {
+                assert_eq!(ops, *best_ops, "repetitions issue identical op counts");
+                if wall_ns < *best_wall {
+                    best = Some((wall_ns, ops, *delta));
+                }
+            }
+            None => best = Some((wall_ns, ops, *delta)),
+        }
+    }
+    let (wall_ns, ops, delta) = best.expect("at least one rep");
+    let extra = if delta.combine_ops > 0 {
+        format!(
+            ",\"batches\":{},\"ops_per_batch\":{:.2},\"eliminations\":{},\"barriers_saved\":{}",
+            delta.combine_batches,
+            delta.combine_ops as f64 / delta.combine_batches.max(1) as f64,
+            delta.combine_eliminations,
+            delta.combine_barriers_saved
+        )
+    } else {
+        String::new()
+    };
+    Row {
+        mode,
+        threads,
+        ops,
+        wall_ns,
+        sim_ns: delta.sim_ns,
+        sim_ns_per_op: delta.sim_ns as f64 / ops as f64,
+        extra,
     }
 }
 
 /// Runs one queue-sweep row: `threads` sessions hammering one shared
 /// `DurableQueue` with enqueue/dequeue pairs under `mode`.
-fn queue_row(mode: PersistMode, threads: usize, pairs: u64) -> Row {
+fn queue_row(mode: PersistMode, threads: usize, pairs: u64, reps: u64) -> Row {
     let cluster = bench_cluster(1 << 18, mode);
-    let setup = cluster.session(MachineId(0));
-    let queue = setup
+    let queue = cluster
+        .session(MachineId(0))
         .create_queue::<u64>("perf/queue")
         .expect("heap fits the queue");
-    let start_gate = Arc::new(Barrier::new(threads + 1));
-    let mut handles = Vec::with_capacity(threads);
-    for t in 0..threads {
-        let session = cluster.session(MachineId(t % 2));
-        let queue = queue.clone();
-        let gate = Arc::clone(&start_gate);
-        handles.push(std::thread::spawn(move || {
-            gate.wait();
-            let start = Instant::now();
-            for i in 0..pairs {
-                queue.enqueue(&session, i + 1).unwrap();
-                queue.dequeue(&session).unwrap();
-            }
-            WorkerReport {
-                start,
-                end: Instant::now(),
-                ops: 2 * pairs,
-            }
-        }));
-    }
-    let before = cluster.stats().snapshot();
-    start_gate.wait();
-    let reports: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-    let (wall_ns, ops) = wall_and_ops(reports);
-    let delta = cluster.stats().snapshot().since(&before);
-    Row {
-        mode: mode.name(),
+    structure_row(
+        mode.name().to_string(),
         threads,
-        ops,
-        wall_ns,
-        sim_ns: delta.sim_ns,
-        sim_ns_per_op: delta.sim_ns as f64 / ops as f64,
+        reps,
+        &cluster.clone(),
+        &mut |t| {
+            let session = cluster.session(MachineId(t % 2));
+            let queue = queue.clone();
+            Box::new(move || {
+                for i in 0..pairs {
+                    queue.enqueue(&session, i + 1).unwrap();
+                    queue.dequeue(&session).unwrap();
+                }
+                2 * pairs
+            })
+        },
+    )
+}
+
+/// Runs one combined-sweep row: plain or combined fronts over one
+/// shared queue or stack, same pair workload as the queue sweep.
+fn combined_sweep_row(
+    kind: &str,
+    combined: bool,
+    mode: PersistMode,
+    threads: usize,
+    pairs: u64,
+    reps: u64,
+) -> Row {
+    let cluster = bench_cluster(1 << 18, mode);
+    let session0 = cluster.session(MachineId(0));
+    let label = format!(
+        "{}/{}/{}",
+        kind,
+        mode.name(),
+        if combined { "combined" } else { "plain" }
+    );
+    let rows = |make: &mut dyn FnMut(usize) -> Box<dyn FnMut() -> u64 + Send>| {
+        structure_row(label.clone(), threads, reps, &cluster.clone(), make)
+    };
+    // Odd threads lead with the remove: threads released by one barrier
+    // otherwise run the pair loop in lock step, and an all-insert round
+    // followed by an all-remove round is traffic no real workload
+    // produces (and the one mix that can never eliminate). Plain and
+    // combined rows get the identical stagger.
+    match (kind, combined) {
+        ("queue", false) => {
+            let q = session0.create_queue::<u64>("perf/cmb").expect("heap fits");
+            rows(&mut |t| {
+                let session = cluster.session(MachineId(t % 2));
+                let q = q.clone();
+                Box::new(move || {
+                    for i in 0..pairs {
+                        if t % 2 == 0 {
+                            q.enqueue(&session, i + 1).unwrap();
+                            q.dequeue(&session).unwrap();
+                        } else {
+                            q.dequeue(&session).unwrap();
+                            q.enqueue(&session, i + 1).unwrap();
+                        }
+                    }
+                    2 * pairs
+                })
+            })
+        }
+        ("queue", true) => {
+            let q = session0
+                .create_queue_combined::<u64>("perf/cmb")
+                .expect("heap fits");
+            rows(&mut |t| {
+                let session = cluster.session(MachineId(t % 2));
+                let q = q.clone();
+                Box::new(move || {
+                    for i in 0..pairs {
+                        if t % 2 == 0 {
+                            q.enqueue(&session, i + 1).unwrap();
+                            q.dequeue(&session).unwrap();
+                        } else {
+                            q.dequeue(&session).unwrap();
+                            q.enqueue(&session, i + 1).unwrap();
+                        }
+                    }
+                    2 * pairs
+                })
+            })
+        }
+        ("stack", false) => {
+            let s = session0.create_stack::<u64>("perf/cmb").expect("heap fits");
+            rows(&mut |t| {
+                let session = cluster.session(MachineId(t % 2));
+                let s = s.clone();
+                Box::new(move || {
+                    for i in 0..pairs {
+                        if t % 2 == 0 {
+                            s.push(&session, i + 1).unwrap();
+                            s.pop(&session).unwrap();
+                        } else {
+                            s.pop(&session).unwrap();
+                            s.push(&session, i + 1).unwrap();
+                        }
+                    }
+                    2 * pairs
+                })
+            })
+        }
+        ("stack", true) => {
+            let s = session0
+                .create_stack_combined::<u64>("perf/cmb")
+                .expect("heap fits");
+            rows(&mut |t| {
+                let session = cluster.session(MachineId(t % 2));
+                let s = s.clone();
+                Box::new(move || {
+                    for i in 0..pairs {
+                        if t % 2 == 0 {
+                            s.push(&session, i + 1).unwrap();
+                            s.pop(&session).unwrap();
+                        } else {
+                            s.pop(&session).unwrap();
+                            s.push(&session, i + 1).unwrap();
+                        }
+                    }
+                    2 * pairs
+                })
+            })
+        }
+        _ => unreachable!("kind is queue|stack"),
     }
 }
 
@@ -336,12 +532,13 @@ fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow
     let delta = cluster.stats_snapshot().since(&before);
     ChurnRow {
         row: Row {
-            mode: mode.name(),
+            mode: mode.name().to_string(),
             threads,
             ops,
             wall_ns,
             sim_ns: delta.sim_ns,
             sim_ns_per_op: delta.sim_ns as f64 / ops as f64,
+            extra: String::new(),
         },
         mem: AllocStats {
             allocs: delta.allocs,
@@ -384,8 +581,8 @@ fn main() {
     };
 
     eprintln!(
-        "perf_baseline: label={} quick={} churn={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
-        opts.label, opts.quick, opts.churn
+        "perf_baseline: label={} quick={} churn={} combined={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
+        opts.label, opts.quick, opts.churn, opts.combined
     );
 
     // Best-of-`reps` per row: on a busy machine the max is the honest
@@ -422,7 +619,7 @@ fn main() {
     let mut queue_rows = Vec::new();
     for &mode in &queue_modes {
         for &t in &THREADS {
-            let row = best(Box::new(move || queue_row(mode, t, queue_pairs)));
+            let row = queue_row(mode, t, queue_pairs, reps);
             eprintln!(
                 "  queue/{} {}t: {:.3} Mops/s (sim {:.0} ns/op)",
                 row.mode,
@@ -431,6 +628,62 @@ fn main() {
                 row.sim_ns_per_op
             );
             queue_rows.push(row);
+        }
+    }
+
+    // The combined sweep: plain vs flat-combining fronts, queue and
+    // stack, per mode. Its headline summary is the 8-thread queue
+    // speedup (combined over plain) per mode.
+    let mut combined_rows = Vec::new();
+    let mut combined_speedups: Vec<(String, f64)> = Vec::new();
+    if opts.combined {
+        let combined_modes: Vec<PersistMode> = if opts.quick {
+            vec![PersistMode::FlitCxl0, PersistMode::FlitAsync]
+        } else {
+            PersistMode::comparison_set()
+        };
+        for &mode in &combined_modes {
+            for kind in ["queue", "stack"] {
+                for &t in &THREADS {
+                    for combined in [false, true] {
+                        let row = combined_sweep_row(kind, combined, mode, t, queue_pairs, reps);
+                        eprintln!(
+                            "  {} {}t: {:.3} Mops/s (sim {:.0} ns/op{})",
+                            row.mode,
+                            t,
+                            row.mops_per_sec(),
+                            row.sim_ns_per_op,
+                            row.extra.replace(['"', ','], " ")
+                        );
+                        combined_rows.push(row);
+                    }
+                }
+            }
+        }
+        // The headline metric is simulated fabric time per op — what
+        // the simulator exists to measure. (Wall throughput is in every
+        // row too, but on a host with few cores it is dominated by the
+        // scheduler round-trips announcement waiting costs, not by the
+        // fabric traffic the combining front removes.)
+        for &mode in &combined_modes {
+            let find = |variant: &str| {
+                combined_rows
+                    .iter()
+                    .find(|r| {
+                        r.threads == 8 && r.mode == format!("queue/{}/{variant}", mode.name())
+                    })
+                    .map(|r| (r.sim_ns_per_op, r.mops_per_sec()))
+            };
+            if let (Some((plain_sim, plain_wall)), Some((comb_sim, comb_wall))) =
+                (find("plain"), find("combined"))
+            {
+                let s = plain_sim / comb_sim.max(f64::EPSILON);
+                eprintln!(
+                    "  combined 8t queue speedup / {}: {s:.2}x sim time ({plain_sim:.0} -> {comb_sim:.0} sim ns/op; wall {plain_wall:.3} -> {comb_wall:.3} Mops/s)",
+                    mode.name()
+                );
+                combined_speedups.push((mode.name().to_string(), s));
+            }
         }
     }
 
@@ -507,6 +760,21 @@ fn main() {
         .collect();
     json.push_str(&rows.join(",\n"));
     json.push_str("\n  ]");
+    if !combined_rows.is_empty() {
+        json.push_str(",\n  \"combined_8t_queue_speedup\": {");
+        let entries: Vec<String> = combined_speedups
+            .iter()
+            .map(|(mode, s)| format!("\"{mode}\":{s:.3}"))
+            .collect();
+        json.push_str(&entries.join(","));
+        json.push_str("},\n  \"combined_sweep\": [\n");
+        let rows: Vec<String> = combined_rows
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ]");
+    }
     if !churn_rows.is_empty() {
         json.push_str(",\n  \"churn_sweep\": [\n");
         let rows: Vec<String> = churn_rows

@@ -66,4 +66,5 @@ pub use cxl0_workloads as workloads;
 
 pub use cxl0_runtime::alloc;
 pub use cxl0_runtime::api;
+pub use cxl0_runtime::ds;
 pub use cxl0_runtime::durable_word;

@@ -3,9 +3,11 @@
 //! and the named-root registry — so application code never hand-assembles
 //! fabric + heap + persistence again.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 
-use cxl0_model::{MachineId, ModelVariant, SystemConfig};
+use cxl0_model::{Loc, MachineId, ModelVariant, SystemConfig};
+use parking_lot::Mutex;
 
 use crate::alloc::{Allocator, META_CELLS};
 use crate::api::error::{ApiError, ApiResult};
@@ -14,6 +16,7 @@ use crate::api::session::Session;
 use crate::backend::{SimFabric, Stats, StatsSnapshot};
 use crate::buffered::BufferedEpoch;
 use crate::cost::CostModel;
+use crate::ds::combine::{Combinable, CombineBoard, CombineStats, Combined};
 use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, Persistence};
 use crate::flit_async::FlitAsync;
 use crate::heap::SharedHeap;
@@ -272,6 +275,8 @@ impl ClusterBuilder {
             mode: self.mode,
             memory_node,
             directory,
+            combine_stats: Arc::new(CombineStats::default()),
+            combine_boards: Mutex::new(HashMap::new()),
         }))
     }
 }
@@ -292,6 +297,11 @@ pub struct Cluster {
     mode: PersistMode,
     memory_node: MachineId,
     directory: RootDirectory,
+    /// Cluster-wide combining counters (all fronts share one set).
+    combine_stats: Arc<CombineStats>,
+    /// Volatile announcement boards, keyed by structure root cell so
+    /// every session's handle of one structure shares one board.
+    combine_boards: Mutex<HashMap<Loc, Arc<CombineBoard>>>,
 }
 
 impl Cluster {
@@ -371,8 +381,9 @@ impl Cluster {
         self.fabric.stats()
     }
 
-    /// One merged snapshot of the fabric counters *and* the allocator's
-    /// memory counters — what [`Session::stats_delta`] diffs.
+    /// One merged snapshot of the fabric counters, the allocator's
+    /// memory counters *and* the combining-front counters — what
+    /// [`Session::stats_delta`] diffs.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut snap = self.fabric.stats().snapshot();
         let mem = self.allocator.stats();
@@ -381,7 +392,33 @@ impl Cluster {
         snap.freelist_hits = mem.freelist_hits;
         snap.live_cells = mem.live_cells;
         snap.hw_cells = mem.hw_cells;
+        let cmb = &self.combine_stats;
+        snap.combine_batches = cmb.batches();
+        snap.combine_ops = cmb.ops();
+        snap.combine_eliminations = cmb.eliminations();
+        snap.combine_elections = cmb.elections();
+        snap.combine_barriers_saved = cmb.barriers_saved();
+        snap.combine_spare_reuses = cmb.spare_reuses();
         snap
+    }
+
+    /// The cluster-wide combining counters (shared by every combined
+    /// front; also overlaid onto [`Cluster::stats_snapshot`]).
+    pub fn combine_stats(&self) -> &Arc<CombineStats> {
+        &self.combine_stats
+    }
+
+    /// Wraps `inner` in the cluster's shared combining front for its
+    /// root cell: every handle of one structure — across sessions and
+    /// machines — shares one volatile announcement board.
+    pub(crate) fn combined<S: Combinable>(&self, inner: S) -> Combined<S> {
+        let board = Arc::clone(
+            self.combine_boards
+                .lock()
+                .entry(inner.root_cell())
+                .or_insert_with(|| Arc::new(CombineBoard::new(Arc::clone(&self.combine_stats)))),
+        );
+        Combined::attach(inner, board)
     }
 
     /// Crashes machine `m` (stop-the-world; NVM survives, caches and

@@ -137,6 +137,15 @@ fn lease_rail_index(cache: &std::cell::Cell<usize>) -> usize {
     idx
 }
 
+/// The current thread's leased slot index, for other per-thread-slot
+/// machinery (the combining fronts' announcement arrays). Indices are
+/// dense and exclusive while the thread lives; [`RAIL_SLOTS`] (or any
+/// larger value a caller treats as out of range) means "no exclusive
+/// slot — use a shared fallback".
+pub(crate) fn thread_slot_index() -> usize {
+    current_rail_index()
+}
+
 /// The current thread's rail index; the overflow rail during TLS
 /// teardown or when more than [`RAIL_SLOTS`] threads are alive.
 fn current_rail_index() -> usize {
@@ -351,6 +360,26 @@ pub struct StatsSnapshot {
     /// Allocator gauge: high-water mark of `live_cells` (see
     /// [`StatsSnapshot::live_cells`]).
     pub hw_cells: u64,
+    /// Combining fronts: batches applied (combiner passes that found at
+    /// least one announced op). Zero in raw-fabric snapshots; populated
+    /// by the cluster layer like the allocator counters.
+    pub combine_batches: u64,
+    /// Combining fronts: operations completed through a combiner
+    /// (applied + eliminated; see [`StatsSnapshot::combine_batches`]).
+    pub combine_ops: u64,
+    /// Combining fronts: operations annihilated by opposite-op
+    /// elimination without touching the durable structure (counted per
+    /// op: one push/pop pair adds two).
+    pub combine_eliminations: u64,
+    /// Combining fronts: combiner-lock acquisitions (elections).
+    pub combine_elections: u64,
+    /// Combining fronts: per-operation persistence syncs avoided —
+    /// batched stores folded under one batch barrier, plus eliminated
+    /// ops that skipped persistence entirely.
+    pub combine_barriers_saved: u64,
+    /// Combining fronts: inserts served from the board's spare-node
+    /// cache instead of an allocator round trip.
+    pub combine_spare_reuses: u64,
 }
 
 impl StatsSnapshot {
@@ -398,6 +427,12 @@ impl StatsSnapshot {
             freelist_hits: self.freelist_hits - earlier.freelist_hits,
             live_cells: self.live_cells,
             hw_cells: self.hw_cells,
+            combine_batches: self.combine_batches - earlier.combine_batches,
+            combine_ops: self.combine_ops - earlier.combine_ops,
+            combine_eliminations: self.combine_eliminations - earlier.combine_eliminations,
+            combine_elections: self.combine_elections - earlier.combine_elections,
+            combine_barriers_saved: self.combine_barriers_saved - earlier.combine_barriers_saved,
+            combine_spare_reuses: self.combine_spare_reuses - earlier.combine_spare_reuses,
         }
     }
 }

@@ -386,6 +386,25 @@ impl Persistence for BufferedEpoch {
         }
         Ok(())
     }
+
+    // Rollback recovery replays the *redo log*: a batched store that
+    // bypassed `record()` (the trait's `AFlush`-riding default) would be
+    // rolled back to the last epoch snapshot without a log entry to
+    // restore it. Keep combined batches on the logged store path; the
+    // buffered promise (durable as of the last sync) already needs no
+    // per-batch sync.
+    fn defers_batches(&self) -> bool {
+        false
+    }
+
+    fn batched_store(&self, node: &NodeHandle, loc: Loc, v: u64) -> OpResult<()> {
+        self.shared_store(node, loc, v, true)
+    }
+
+    fn flush_batch(&self, node: &NodeHandle) -> OpResult<()> {
+        let _ = node;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -22,6 +22,7 @@
 //! both API layers. Named creation/reattachment lives on the session
 //! (`create_queue`/`open_queue` and friends).
 
+pub mod combine;
 pub mod counter;
 pub mod list;
 pub mod log;
@@ -30,6 +31,7 @@ pub mod queue;
 pub mod register;
 pub mod stack;
 
+pub use combine::{Combinable, CombineStats, Combined, CombinedQueue, CombinedStack, Elimination};
 pub use counter::DurableCounter;
 pub use list::DurableList;
 pub use log::{DurableLog, SlotState};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::alloc::Allocator;
+use crate::alloc::{Allocator, BlockRef};
 use crate::api::Word;
 use crate::backend::AsNode;
 use crate::error::OpResult;
@@ -247,6 +247,104 @@ impl<T: Word> DurableQueue<T> {
                 }
             }
         }
+    }
+
+    /// Sole-mutator enqueue for the combining front
+    /// ([`crate::ds::combine`]): the caller holds the structure's
+    /// combining lock, so no CAS retries are needed and every store goes
+    /// through [`Persistence::batched_store`] — persistence may be
+    /// deferred to the combiner's batch flush. The store order (value,
+    /// null next, link, tail) keeps every durable prefix a consistent
+    /// queue state, exactly like the plain path's persist order, so an
+    /// early partial flush (e.g. a sync op elsewhere on the same machine
+    /// draining the persistency buffer) is harmless.
+    ///
+    /// The node comes from the board's `spare` cache when it has one —
+    /// a block some earlier *flushed* batch durably unlinked, reused
+    /// here with its generation unchanged. That is safe where it
+    /// matters: no pointer to the block survives in the durable list
+    /// (its unlink is flushed), and under the front's sole-mutator
+    /// contract no concurrent snapshot can be holding its old identity
+    /// across the reuse, which is what generation bumps exist to catch.
+    pub(crate) fn enqueue_batched(
+        &self,
+        at: &impl AsNode,
+        raw: u64,
+        spare: &mut Vec<BlockRef>,
+    ) -> OpResult<bool> {
+        let node = at.as_node();
+        let n = match spare.pop() {
+            Some(n) => n,
+            None => match self.alloc.alloc(node, 2)? {
+                Some(n) => n,
+                None => return Ok(false),
+            },
+        };
+        self.persist
+            .batched_store(node, self.value_cell(n.loc), raw)?;
+        self.persist
+            .batched_store(node, self.next_cell(n.loc), Allocator::null_ptr(n.gen))?;
+        let n_enc = Allocator::encode(n);
+        // Walk to the real tail (it may lag one node, as ever), then
+        // link and swing with plain batched stores: as sole mutator we
+        // can never observe a foreign-generation null or lose a race.
+        let mut tail = self.persist.private_load(node, self.tail_cell())?;
+        loop {
+            let t = self.alloc.decode(tail).expect("tail is never null");
+            let next = self.persist.private_load(node, self.next_cell(t))?;
+            if let Some(_succ) = self.alloc.decode(next) {
+                tail = next;
+                continue;
+            }
+            self.persist.batched_store(node, self.next_cell(t), n_enc)?;
+            self.persist.batched_store(node, self.tail_cell(), n_enc)?;
+            return Ok(true);
+        }
+    }
+
+    /// Sole-mutator dequeue for the combining front (see
+    /// [`DurableQueue::enqueue_batched`]). The unlinked node is **not**
+    /// freed here: it is pushed onto `frees` (with the generation its
+    /// pointer word carried, so the combiner can recycle it directly)
+    /// for handling *after* the batch flush — releasing it before the
+    /// head swing is durable could let the block be relinked while the
+    /// persisted head still points at it.
+    pub(crate) fn dequeue_batched(
+        &self,
+        at: &impl AsNode,
+        frees: &mut Vec<BlockRef>,
+    ) -> OpResult<Option<u64>> {
+        let node = at.as_node();
+        let head = self.persist.private_load(node, self.head_cell())?;
+        let h = self.alloc.decode(head).expect("head is never null");
+        let next = self.persist.private_load(node, self.next_cell(h))?;
+        let Some(nx) = self.alloc.decode(next) else {
+            return Ok(None);
+        };
+        let v = self.persist.private_load(node, self.value_cell(nx))?;
+        self.persist.batched_store(node, self.head_cell(), next)?;
+        frees.push(BlockRef {
+            loc: h,
+            gen: Allocator::ptr_gen(head),
+            recycled: true,
+        });
+        Ok(Some(v))
+    }
+
+    /// Returns nodes a combined batch unlinked to the allocator, once
+    /// the batch's head swings are durable.
+    pub(crate) fn reclaim_batch(&self, at: &impl AsNode, frees: &[BlockRef]) -> OpResult<()> {
+        let node = at.as_node();
+        for b in frees {
+            let freed = self.alloc.free(node, b.loc)?;
+            debug_assert!(freed.is_ok(), "combiner owns the nodes it unlinked");
+        }
+        Ok(())
+    }
+
+    /// The persistence strategy (for the combining front's batch flush).
+    pub(crate) fn persist_handle(&self) -> &Arc<dyn Persistence> {
+        &self.persist
     }
 
     /// Post-crash repair: advance a lagging tail (the only transient

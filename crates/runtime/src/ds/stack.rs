@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use cxl0_model::Loc;
 
-use crate::alloc::Allocator;
+use crate::alloc::{Allocator, BlockRef};
 use crate::api::Word;
 use crate::backend::AsNode;
 use crate::error::OpResult;
@@ -153,6 +153,83 @@ impl<T: Word> DurableStack<T> {
                 Err(_) => continue,
             }
         }
+    }
+
+    /// Sole-mutator push for the combining front
+    /// ([`crate::ds::combine`]): the caller holds the structure's
+    /// combining lock, so the top pointer is updated with a plain
+    /// [`Persistence::batched_store`] (no CAS, persistence deferrable to
+    /// the batch flush). Store order (value, next, top) keeps every
+    /// durable prefix a consistent stack.
+    ///
+    /// The node comes from the board's `spare` cache when it has one —
+    /// a durably-unlinked block from an earlier flushed batch, reused
+    /// with its generation unchanged (safe under the front's
+    /// sole-mutator contract; see
+    /// [`DurableQueue::enqueue_batched`](crate::ds::queue::DurableQueue)).
+    pub(crate) fn push_batched(
+        &self,
+        at: &impl AsNode,
+        raw: u64,
+        spare: &mut Vec<BlockRef>,
+    ) -> OpResult<bool> {
+        let node = at.as_node();
+        let n = match spare.pop() {
+            Some(n) => n,
+            None => match self.alloc.alloc(node, 2)? {
+                Some(n) => n,
+                None => return Ok(false),
+            },
+        };
+        self.persist
+            .batched_store(node, self.value_cell(n.loc), raw)?;
+        let top = self.persist.private_load(node, self.top)?;
+        self.persist
+            .batched_store(node, self.next_cell(n.loc), top)?;
+        self.persist
+            .batched_store(node, self.top, Allocator::encode(n))?;
+        Ok(true)
+    }
+
+    /// Sole-mutator pop for the combining front (see
+    /// [`DurableStack::push_batched`]). The unlinked node goes onto
+    /// `frees` for reclamation *after* the batch flush, so a crash can
+    /// never leave a persisted top pointing at a reallocated block.
+    pub(crate) fn pop_batched(
+        &self,
+        at: &impl AsNode,
+        frees: &mut Vec<BlockRef>,
+    ) -> OpResult<Option<u64>> {
+        let node = at.as_node();
+        let top = self.persist.private_load(node, self.top)?;
+        let Some(t) = self.alloc.decode(top) else {
+            return Ok(None);
+        };
+        let next = self.persist.private_load(node, self.next_cell(t))?;
+        let v = self.persist.private_load(node, self.value_cell(t))?;
+        self.persist.batched_store(node, self.top, next)?;
+        frees.push(BlockRef {
+            loc: t,
+            gen: Allocator::ptr_gen(top),
+            recycled: true,
+        });
+        Ok(Some(v))
+    }
+
+    /// Returns nodes a combined batch unlinked to the allocator, once
+    /// the batch's top swings are durable.
+    pub(crate) fn reclaim_batch(&self, at: &impl AsNode, frees: &[BlockRef]) -> OpResult<()> {
+        let node = at.as_node();
+        for b in frees {
+            let freed = self.alloc.free(node, b.loc)?;
+            debug_assert!(freed.is_ok(), "combiner owns the nodes it unlinked");
+        }
+        Ok(())
+    }
+
+    /// The persistence strategy (for the combining front's batch flush).
+    pub(crate) fn persist_handle(&self) -> &Arc<dyn Persistence> {
+        &self.persist
     }
 
     /// Drains the stack into a vector (single-threaded helper for tests

@@ -154,6 +154,60 @@ pub trait Persistence: Send + Sync + fmt::Debug {
         let _ = node;
         Ok(())
     }
+
+    /// True when [`Persistence::batched_store`] defers its persistence
+    /// work to the next [`Persistence::flush_batch`] instead of
+    /// persisting synchronously; the combining front uses this to
+    /// account how many per-operation sync points a batch amortized
+    /// away. The default batched path defers.
+    fn defers_batches(&self) -> bool {
+        true
+    }
+
+    /// A store issued by a *combiner* — a thread that holds a
+    /// structure's combining lock and is therefore the structure's sole
+    /// mutator for the duration of the batch (see
+    /// [`crate::ds::combine`]). Because no concurrent reader can observe
+    /// the cell mid-batch, no FliT counter traffic is needed; because
+    /// the batch ends with [`Persistence::flush_batch`], the per-store
+    /// sync may be deferred.
+    ///
+    /// The default rides the `CXL0_AF` extension regardless of the
+    /// strategy's *plain-path* flush policy: `LStore` + `AFlush` here,
+    /// one `Barrier` in [`Persistence::flush_batch`]. That is durably
+    /// sound for any strategy whose promise is "acknowledged ⇒
+    /// durable": no batched op is acknowledged before the batch
+    /// barrier, and a crash of the combiner's machine drops its cache
+    /// lines *and* its persistency buffer wholesale, so an unflushed
+    /// batch vanishes all-or-nothing — callers of its ops observe an
+    /// error, never a half-persisted op reported complete. Strategies
+    /// with a *weaker* plain-path promise (buffered epochs) or none at
+    /// all ([`NoPersistence`]) override this with their own path.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    fn batched_store(&self, node: &NodeHandle, loc: Loc, v: u64) -> OpResult<()> {
+        node.lstore(loc, v)?;
+        node.aflush(loc)
+    }
+
+    /// The batch-flush entry point: retires every store the current
+    /// combined batch deferred, in one sync. A combiner must call this
+    /// after applying a batch via [`Persistence::batched_store`] and
+    /// **before** acknowledging any of the batch's operations — the
+    /// acknowledgement is what promises durability. The default retires
+    /// the `AFlush`es the default `batched_store` enqueued with one
+    /// `Barrier`; no-op for strategies whose `batched_store` is
+    /// synchronous.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the issuing machine has crashed.
+    fn flush_batch(&self, node: &NodeHandle) -> OpResult<()> {
+        node.barrier()?;
+        Ok(())
+    }
 }
 
 /// How a strategy flushes a just-written line.
@@ -499,6 +553,21 @@ impl Persistence for NoPersistence {
 
     fn shared_faa(&self, node: &NodeHandle, loc: Loc, delta: u64, _pflag: bool) -> OpResult<u64> {
         node.faa(StoreKind::Local, loc, delta)
+    }
+
+    // Promising no durability, the batched path owes none either: plain
+    // cached stores, nothing to retire.
+    fn defers_batches(&self) -> bool {
+        false
+    }
+
+    fn batched_store(&self, node: &NodeHandle, loc: Loc, v: u64) -> OpResult<()> {
+        node.lstore(loc, v)
+    }
+
+    fn flush_batch(&self, node: &NodeHandle) -> OpResult<()> {
+        let _ = node;
+        Ok(())
     }
 }
 

@@ -187,6 +187,12 @@ impl Persistence for FlitAsync {
         node.barrier()?;
         Ok(())
     }
+
+    // The batched-store path (`Persistence::batched_store` /
+    // `flush_batch`) keeps the trait default — LStore + AFlush per
+    // store, one Barrier per batch — which *is* this strategy's own
+    // discipline applied at batch rather than op granularity: §3.2's
+    // persistency-buffer amortization.
 }
 
 impl FlitAsync {

@@ -87,8 +87,8 @@ pub use backend::{AsNode, NodeHandle, SimFabric, Stats, StatsSnapshot};
 pub use buffered::BufferedEpoch;
 pub use cost::CostModel;
 pub use ds::{
-    DurableCounter, DurableList, DurableLog, DurableMap, DurableQueue, DurableRegister,
-    DurableStack, SlotState,
+    Combinable, CombineStats, Combined, CombinedQueue, CombinedStack, DurableCounter, DurableList,
+    DurableLog, DurableMap, DurableQueue, DurableRegister, DurableStack, Elimination, SlotState,
 };
 pub use error::{Crashed, OpResult};
 pub use flit::{
