@@ -9,7 +9,9 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use cxl0_model::{MachineId, SystemConfig};
 use cxl0_runtime::alloc::Allocator;
-use cxl0_runtime::{BufferedEpoch, DurableMap, FlitCxl0, Persistence, SharedHeap, SimFabric};
+use cxl0_runtime::{
+    BufferedEpoch, DurableMap, FlitCxl0, Persistence, SharedHeap, SimFabric, SmrDomain,
+};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 const MEM: MachineId = MachineId(2);
@@ -24,8 +26,9 @@ struct Rig {
 fn rig(strategy: Arc<dyn Persistence>) -> Rig {
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 18));
     let alloc = Arc::new(Allocator::over_region(fabric.config(), MEM, strategy));
+    let smr = Arc::new(SmrDomain::new(alloc));
     let node = fabric.node(MachineId(0));
-    let map = DurableMap::create(&alloc, &node, 1024)
+    let map = DurableMap::create(&smr, &node, 1024)
         .expect("fresh machine")
         .expect("heap fits");
     Rig {
@@ -72,8 +75,9 @@ fn bench_buffered(c: &mut Criterion) {
             1 << 17,
             buffered as Arc<dyn Persistence>,
         ));
+        let smr = Arc::new(SmrDomain::new(alloc));
         let node = fabric.node(MachineId(0));
-        let map = DurableMap::create(&alloc, &node, 1024)
+        let map = DurableMap::create(&smr, &node, 1024)
             .expect("fresh machine")
             .expect("heap fits");
         let mut r = Rig {

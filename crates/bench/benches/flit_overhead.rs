@@ -5,7 +5,7 @@
 use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use cxl0_bench::{bench_allocator, MEM_NODE};
+use cxl0_bench::{bench_allocator, bench_smr, MEM_NODE};
 use cxl0_model::MachineId;
 use cxl0_runtime::{
     DurableMap, DurableQueue, FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence,
@@ -27,9 +27,9 @@ fn map_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("map_mixed_ops");
     for strategy in strategies() {
         let name = strategy.name();
-        let (fabric, alloc) = bench_allocator(1 << 20, strategy);
+        let (fabric, smr) = bench_smr(1 << 20, strategy);
         let node = fabric.node(MachineId(0));
-        let map = DurableMap::create(&alloc, &node, 4096).unwrap().unwrap();
+        let map = DurableMap::create(&smr, &node, 4096).unwrap().unwrap();
         let mut w = Workload::new(KeyDist::zipfian(1024, 0.99), OpMix::update_heavy(), 11);
         group.bench_function(BenchmarkId::new("strategy", name), |b| {
             b.iter(|| match w.next_op() {
@@ -72,9 +72,9 @@ fn queue_pairs(c: &mut Criterion) {
 fn counter_striping(c: &mut Criterion) {
     let mut group = c.benchmark_group("flit_counter_striping");
     for stripes in [1usize, 16, 256, 4096] {
-        let (fabric, alloc) = bench_allocator(1 << 20, Arc::new(FlitCxl0::new(stripes)));
+        let (fabric, smr) = bench_smr(1 << 20, Arc::new(FlitCxl0::new(stripes)));
         let node = fabric.node(MachineId(0));
-        let map = DurableMap::create(&alloc, &node, 4096).unwrap().unwrap();
+        let map = DurableMap::create(&smr, &node, 4096).unwrap().unwrap();
         let mut w = Workload::new(KeyDist::uniform(1024), OpMix::update_heavy(), 13);
         group.bench_with_input(BenchmarkId::from_parameter(stripes), &stripes, |b, _| {
             b.iter(|| match w.next_op() {

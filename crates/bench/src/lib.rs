@@ -24,7 +24,7 @@ use std::sync::Arc;
 use cxl0_model::{MachineId, SystemConfig};
 use cxl0_runtime::alloc::Allocator;
 use cxl0_runtime::api::{Cluster, PersistMode};
-use cxl0_runtime::{Persistence, SharedHeap, SimFabric, StatsSnapshot};
+use cxl0_runtime::{Persistence, SharedHeap, SimFabric, SmrDomain, StatsSnapshot};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// The machine hosting benchmark data structures.
@@ -70,6 +70,14 @@ pub fn bench_allocator(
     let fabric = SimFabric::new(SystemConfig::symmetric_nvm(3, cells));
     let alloc = Arc::new(Allocator::over_region(fabric.config(), MEM_NODE, persist));
     (fabric, alloc)
+}
+
+/// As [`bench_allocator`], but wrapped in an [`SmrDomain`] — for benches
+/// that drive the traversal structures (map, list), which allocate and
+/// retire through the reclamation domain.
+pub fn bench_smr(cells: u32, persist: Arc<dyn Persistence>) -> (Arc<SimFabric>, Arc<SmrDomain>) {
+    let (fabric, alloc) = bench_allocator(cells, persist);
+    (fabric, Arc::new(SmrDomain::new(alloc)))
 }
 
 /// A fresh 2-compute + 1-memory [`Cluster`] with `cells` shared cells

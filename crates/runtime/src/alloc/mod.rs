@@ -77,11 +77,17 @@
 //! One discipline makes this airtight without type-stable memory: **a
 //! cell of a reclaimable block that is ever the target of a CAS must
 //! only ever hold generation-tagged words** (encoded pointers or tagged
-//! nulls), never application-chosen values. The in-tree structures
-//! follow it — their two-cell nodes all keep the link at offset 1 and
-//! the value at offset 0, and the hash map (whose table cells hold
-//! application words throughout) allocates at least four cells so its
-//! tables never share a size class with node blocks.
+//! nulls), never application-chosen values — *or* the block's
+//! reclamation must be deferred past every operation that could touch
+//! it. The counted-pointer structures (queue, stack) follow the first
+//! arm: their two-cell nodes keep the link at offset 1 and the value
+//! at offset 0, and free unlinked nodes inline. The traversal
+//! structures (sorted list, hash map), whose cells do hold
+//! application-chosen words, follow the second: they retire blocks
+//! through the epoch-based reclamation domain ([`crate::smr`]), which
+//! keeps a retired block out of reuse until every operation pinned at
+//! retirement has finished — see `docs/RECLAMATION.md` for why each
+//! structure sits where it does.
 //!
 //! ## Example
 //!

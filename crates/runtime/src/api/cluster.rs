@@ -20,6 +20,7 @@ use crate::ds::combine::{Combinable, CombineBoard, CombineStats, Combined};
 use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, Persistence};
 use crate::flit_async::FlitAsync;
 use crate::heap::SharedHeap;
+use crate::smr::SmrDomain;
 
 /// Which durability strategy a [`Cluster`] wires its structures to —
 /// choosing one is a one-line configuration change instead of a type
@@ -265,11 +266,16 @@ impl ClusterBuilder {
 
         let registry_base = cxl0_model::Loc::new(memory_node, 0);
         let directory = RootDirectory::new(registry_base, self.root_capacity, Arc::clone(&persist));
+        // One reclamation domain per cluster: every session handle of
+        // every traversal structure shares these epochs, which is what
+        // makes grace periods sound across handles.
+        let smr = Arc::new(SmrDomain::new(Arc::clone(&allocator)));
 
         Ok(Arc::new(Cluster {
             fabric,
             heap,
             allocator,
+            smr,
             persist,
             buffered,
             mode: self.mode,
@@ -292,6 +298,9 @@ pub struct Cluster {
     fabric: Arc<SimFabric>,
     heap: Arc<SharedHeap>,
     allocator: Arc<Allocator>,
+    /// The cluster-wide epoch-based reclamation domain (one per
+    /// allocator; shared by every traversal-structure handle).
+    smr: Arc<SmrDomain>,
     persist: Arc<dyn Persistence>,
     buffered: Option<Arc<BufferedEpoch>>,
     mode: PersistMode,
@@ -354,6 +363,12 @@ impl Cluster {
         &self.persist
     }
 
+    /// The cluster-wide epoch-based reclamation domain the traversal
+    /// structures (list, map) retire through (see [`crate::smr`]).
+    pub fn smr(&self) -> &Arc<SmrDomain> {
+        &self.smr
+    }
+
     /// The buffered-epoch machinery, when built with
     /// [`PersistMode::Buffered`].
     pub fn buffered(&self) -> Option<&Arc<BufferedEpoch>> {
@@ -382,8 +397,9 @@ impl Cluster {
     }
 
     /// One merged snapshot of the fabric counters, the allocator's
-    /// memory counters *and* the combining-front counters — what
-    /// [`Session::stats_delta`] diffs.
+    /// memory counters, the combining-front counters *and* the
+    /// reclamation-domain counters — what [`Session::stats_delta`]
+    /// diffs.
     pub fn stats_snapshot(&self) -> StatsSnapshot {
         let mut snap = self.fabric.stats().snapshot();
         let mem = self.allocator.stats();
@@ -399,6 +415,13 @@ impl Cluster {
         snap.combine_elections = cmb.elections();
         snap.combine_barriers_saved = cmb.barriers_saved();
         snap.combine_spare_reuses = cmb.spare_reuses();
+        let smr = self.smr.stats();
+        snap.smr_pins = smr.pins;
+        snap.smr_retires = smr.retires;
+        snap.smr_reclaims = smr.reclaims;
+        snap.smr_advances = smr.advances;
+        snap.smr_epoch = smr.epoch;
+        snap.smr_limbo = smr.limbo;
         snap
     }
 

@@ -19,6 +19,7 @@ use crate::ds::{
 };
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
+use crate::smr::SmrDomain;
 
 /// A per-machine context over a [`Cluster`].
 ///
@@ -104,6 +105,13 @@ impl Session {
         self.cluster.persistence()
     }
 
+    /// The cluster's epoch-based reclamation domain (see
+    /// [`crate::smr`]): what the traversal structures opened through
+    /// this session pin and retire through.
+    pub fn smr(&self) -> &Arc<SmrDomain> {
+        self.cluster.smr()
+    }
+
     /// Fabric *and allocator* statistics accumulated since this session
     /// was created — the snapshot-on-entry + diff dance every benchmark
     /// used to hand-roll. Alongside the primitive counters, the delta
@@ -151,7 +159,11 @@ impl Session {
     /// runs the allocator's recovery sweep
     /// ([`Allocator::recover`]: torn claims reverted, latched
     /// alloc/free intents sealed, orphaned blocks pushed back onto
-    /// their free lists), and seals registry entries left *pending* by
+    /// their free lists), sweeps the reclamation domain's volatile
+    /// limbo bags back to the free lists
+    /// ([`SmrDomain::recover`](crate::smr::SmrDomain::recover): retired
+    /// blocks are already durably unlinked, so post-crash they are
+    /// plain free memory), and seals registry entries left *pending* by
     /// creators that crashed between claim and commit, making those
     /// names creatable again. Must run quiesced (no concurrent
     /// operations), like the structures' own `recover` methods.
@@ -166,6 +178,7 @@ impl Session {
             epoch.recover(&self.node)?;
         }
         self.cluster.allocator().recover(&self.node)?;
+        self.cluster.smr().recover(&self.node)?;
         Ok(self.cluster.directory().recover(&self.node)?)
     }
 
@@ -402,9 +415,9 @@ impl Session {
     ) -> ApiResult<DurableMap<K, V>> {
         self.create_root(name, RootKind::Map, map_tag::<K, V>(), || {
             Ok(
-                DurableMap::<K, V>::create(self.allocator(), &self.node, capacity)?.map(|m| {
-                    let (base, rounded) = m.layout();
-                    (m, base, rounded)
+                DurableMap::<K, V>::create(self.smr(), &self.node, capacity)?.map(|m| {
+                    let (header, rounded) = m.layout();
+                    (m, header, rounded)
                 }),
             )
         })
@@ -420,7 +433,7 @@ impl Session {
         Ok(DurableMap::attach(
             info.header,
             info.aux,
-            Arc::clone(self.persistence()),
+            Arc::clone(self.smr()),
         ))
     }
 
@@ -465,7 +478,7 @@ impl Session {
     /// As [`Session::create_register`].
     pub fn create_list<K: Word>(&self, name: &str) -> ApiResult<DurableList<K>> {
         self.create_root(name, RootKind::List, K::TAG, || {
-            Ok(DurableList::<K>::create(self.allocator(), &self.node)?
+            Ok(DurableList::<K>::create(self.smr(), &self.node)?
                 .map(|l| (l.head_cell(), l))
                 .map(|(head, l)| (l, head, 0)))
         })
@@ -478,10 +491,7 @@ impl Session {
     /// As [`Session::open_register`].
     pub fn open_list<K: Word>(&self, name: &str) -> ApiResult<DurableList<K>> {
         let info = self.lookup(name, RootKind::List, K::TAG)?;
-        Ok(DurableList::attach(
-            info.header,
-            Arc::clone(self.allocator()),
-        ))
+        Ok(DurableList::attach(info.header, Arc::clone(self.smr())))
     }
 
     /// Testing hook: claim `name` in the registry without committing —

@@ -77,8 +77,10 @@ use crate::error::{Crashed, OpResult};
 
 /// Number of exclusive per-thread rails; threads beyond this many alive
 /// at once (or counters bumped from TLS teardown) share one overflow
-/// rail that falls back to atomic read-modify-writes.
-const RAIL_SLOTS: usize = 256;
+/// rail that falls back to atomic read-modify-writes. Other per-thread
+/// slot arrays (the SMR epoch slots, the combining fronts' announcement
+/// boards) ride the same leases via [`thread_slot_index`].
+pub(crate) const RAIL_SLOTS: usize = 256;
 
 /// Operation classes tracked by [`Stats`], in counter order.
 #[derive(Debug, Clone, Copy)]
@@ -380,6 +382,24 @@ pub struct StatsSnapshot {
     /// Combining fronts: inserts served from the board's spare-node
     /// cache instead of an allocator round trip.
     pub combine_spare_reuses: u64,
+    /// Reclamation domain: traversal pins. Zero in raw-fabric
+    /// snapshots; populated by the cluster layer like the allocator
+    /// counters.
+    pub smr_pins: u64,
+    /// Reclamation domain: blocks retired into limbo (see
+    /// [`StatsSnapshot::smr_pins`]).
+    pub smr_retires: u64,
+    /// Reclamation domain: retired blocks handed back to the allocator
+    /// after their grace period.
+    pub smr_reclaims: u64,
+    /// Reclamation domain: successful global-epoch advances.
+    pub smr_advances: u64,
+    /// Reclamation-domain gauge: the current global epoch (carried, not
+    /// diffed, by [`StatsSnapshot::since`]).
+    pub smr_epoch: u64,
+    /// Reclamation-domain gauge: blocks currently in limbo (see
+    /// [`StatsSnapshot::smr_epoch`]).
+    pub smr_limbo: u64,
 }
 
 impl StatsSnapshot {
@@ -407,9 +427,9 @@ impl StatsSnapshot {
     }
 
     /// Component-wise difference (`self - earlier`) for the monotonic
-    /// counters; the allocator *gauges* (`live_cells`, `hw_cells`) are
-    /// carried over from `self` (a "delta" of a level is meaningless
-    /// and could underflow).
+    /// counters; the *gauges* (`live_cells`, `hw_cells`, `smr_epoch`,
+    /// `smr_limbo`) are carried over from `self` (a "delta" of a level
+    /// is meaningless and could underflow).
     pub fn since(&self, earlier: &StatsSnapshot) -> StatsSnapshot {
         StatsSnapshot {
             loads: self.loads - earlier.loads,
@@ -433,6 +453,12 @@ impl StatsSnapshot {
             combine_elections: self.combine_elections - earlier.combine_elections,
             combine_barriers_saved: self.combine_barriers_saved - earlier.combine_barriers_saved,
             combine_spare_reuses: self.combine_spare_reuses - earlier.combine_spare_reuses,
+            smr_pins: self.smr_pins - earlier.smr_pins,
+            smr_retires: self.smr_retires - earlier.smr_retires,
+            smr_reclaims: self.smr_reclaims - earlier.smr_reclaims,
+            smr_advances: self.smr_advances - earlier.smr_advances,
+            smr_epoch: self.smr_epoch,
+            smr_limbo: self.smr_limbo,
         }
     }
 }

@@ -2,13 +2,14 @@
 //! logical deletion via a mark bit in the `next` pointer, physical
 //! unlinking by helping traversals — FliT-transformed like the other
 //! structures, demonstrating the transformation on a pointer-chasing
-//! algorithm with two-phase removal **and node reclamation**.
+//! algorithm with two-phase removal **and concurrent node
+//! reclamation**.
 //!
 //! Node layout: `[key, next]`; the `next` cell packs `(pointer, mark)`.
 //! Keys must be non-zero and below `2^62` (the allocator's null tag and
 //! the mark bit).
 //!
-//! ## Reclamation: retire now, reclaim at quiescence
+//! ## Reclamation: retire inline, reclaim after a grace period
 //!
 //! Unlike the queue and stack — whose CASes always compare a
 //! generation-tagged word remembered from the incarnation they mean,
@@ -18,19 +19,22 @@
 //! value from a fresh read of the node itself, so an unlink → free →
 //! recycle racing an in-flight operation could hand that operation a
 //! *different* structure's live cell (the classic reason linked lists
-//! need hazard pointers where stacks and queues get by with counted
-//! pointers).
+//! need hazard pointers or epochs where stacks and queues get by with
+//! counted pointers).
 //!
-//! This list therefore **retires** unlinked nodes into a volatile
-//! per-handle quarantine instead of freeing them: a retired node's
-//! cells stay frozen (marked), so every in-flight traversal and CAS
-//! behaves exactly as in the classic non-reclaiming Harris list.
-//! [`DurableList::reclaim`] drains the quarantine into the allocator —
-//! it must run *quiesced* (no concurrent operations on this list, like
-//! `recover`), the natural point being between workload phases. Churn
-//! workloads that reclaim periodically run in bounded memory; nodes
-//! retired but not yet reclaimed at a crash are leaked, exactly like
-//! cells of any crashed operation.
+//! Every operation therefore pins the cluster's epoch-based
+//! reclamation domain ([`crate::smr`]) for its duration, and whoever
+//! wins an unlink CAS **retires** the node through its
+//! [`SmrGuard`]: the node's cells stay frozen
+//! (marked) until every traversal pinned at retirement time has
+//! finished, then drain back to the allocator automatically — no
+//! quiescence, ever. Nodes still in limbo at a crash are swept back to
+//! the free lists by
+//! [`Session::recover_roots`](crate::api::Session::recover_roots)
+//! (retired means durably unlinked, so limbo is volatile by design).
+//! The pre-SMR design retired into a per-handle quarantine that only a
+//! *quiesced* [`DurableList::reclaim`] could drain; that requirement is
+//! gone (see `docs/RECLAMATION.md` for the migration note).
 //!
 //! Two generation disciplines keep the *published* state safe under
 //! cross-structure reuse of whatever the list does release: every
@@ -51,6 +55,7 @@ use crate::api::Word;
 use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
 use crate::flit::Persistence;
+use crate::smr::{SmrDomain, SmrGuard};
 
 const MARK: u64 = 1 << 63;
 
@@ -86,23 +91,29 @@ fn unmark(raw: u64) -> u64 {
 pub struct DurableList<K: Word = u64> {
     /// The head pointer cell (encoded pointer to the first node, or 0).
     head: Loc,
+    /// The reclamation domain removed nodes retire through (shared by
+    /// every handle of every traversal structure on this allocator).
+    smr: Arc<SmrDomain>,
     alloc: Arc<Allocator>,
     persist: Arc<dyn Persistence>,
-    /// Volatile quarantine of unlinked nodes awaiting a quiescent
-    /// [`DurableList::reclaim`] (shared by clones of this handle).
-    retired: Arc<parking_lot::Mutex<Vec<Loc>>>,
     _keys: PhantomData<K>,
 }
 
 impl<K: Word> DurableList<K> {
-    /// Allocates an empty list (one head cell) through `alloc`;
-    /// `Ok(None)` if the heap is exhausted.
+    /// Allocates an empty list (one head cell) through `smr`'s
+    /// allocator; `Ok(None)` if the heap is exhausted.
+    ///
+    /// The list allocates from — and retires removed nodes back through
+    /// — the given reclamation domain; all handles of all traversal
+    /// structures over one allocator must share one domain (a
+    /// [`Cluster`](crate::api::Cluster) guarantees this).
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
-    pub fn create(alloc: &Arc<Allocator>, at: &impl AsNode) -> OpResult<Option<Self>> {
+    pub fn create(smr: &Arc<SmrDomain>, at: &impl AsNode) -> OpResult<Option<Self>> {
         let node = at.as_node();
+        let alloc = Arc::clone(smr.allocator());
         let persist = Arc::clone(alloc.persistence());
         let Some(head) = alloc.alloc(node, 1)? else {
             return Ok(None);
@@ -111,23 +122,22 @@ impl<K: Word> DurableList<K> {
         persist.private_store(node, head.loc, 0, true)?;
         Ok(Some(DurableList {
             head: head.loc,
-            alloc: Arc::clone(alloc),
+            smr: Arc::clone(smr),
+            alloc,
             persist,
-            retired: Arc::new(parking_lot::Mutex::new(Vec::new())),
             _keys: PhantomData,
         }))
     }
 
-    /// Attaches to an existing list after recovery (with a fresh, empty
-    /// retire quarantine: each handle reclaims what it unlinked). The
-    /// durability strategy is the allocator's — the two can never be a
+    /// Attaches to an existing list after recovery. The durability
+    /// strategy is the domain's allocator's — the two can never be a
     /// mismatched pair.
-    pub fn attach(head: Loc, alloc: Arc<Allocator>) -> Self {
+    pub fn attach(head: Loc, smr: Arc<SmrDomain>) -> Self {
         DurableList {
             head,
-            persist: Arc::clone(alloc.persistence()),
-            alloc,
-            retired: Arc::new(parking_lot::Mutex::new(Vec::new())),
+            alloc: Arc::clone(smr.allocator()),
+            persist: Arc::clone(smr.persistence()),
+            smr,
             _keys: PhantomData,
         }
     }
@@ -169,10 +179,16 @@ impl<K: Word> DurableList<K> {
     /// Finds the first node with key ≥ `key`. Returns
     /// `(pred_cell, pred_gen, expected_in_pred, found)` where `found`
     /// is the encoded current node (null at end of list) whose key, if
-    /// any node, is ≥ `key`. Helps unlink — and retire — marked nodes
-    /// on the way.
+    /// any node, is ≥ `key`. Helps unlink marked nodes on the way; the
+    /// unlink winner retires them through `guard` (which also keeps
+    /// every node this search dereferences out of reuse).
     #[allow(clippy::type_complexity)]
-    fn search(&self, node: &NodeHandle, key: u64) -> OpResult<(Loc, u64, u64, Option<u64>)> {
+    fn search(
+        &self,
+        guard: &SmrGuard<'_>,
+        node: &NodeHandle,
+        key: u64,
+    ) -> OpResult<(Loc, u64, u64, Option<u64>)> {
         'retry: loop {
             let mut pred_cell = self.head;
             let mut pred_gen = 0u64;
@@ -195,7 +211,7 @@ impl<K: Word> DurableList<K> {
                     {
                         continue 'retry;
                     }
-                    self.retired.lock().push(curr);
+                    guard.retire(node, curr)?;
                     curr_enc = replacement;
                     continue;
                 }
@@ -219,7 +235,8 @@ impl<K: Word> DurableList<K> {
     /// # Panics
     ///
     /// Panics if `key` is zero or has bit 62/63 set, or if the node
-    /// heap is exhausted.
+    /// heap is exhausted even after reclaiming every ripe retired
+    /// block.
     ///
     /// # Errors
     ///
@@ -234,8 +251,9 @@ impl<K: Word> DurableList<K> {
         // Lazily allocated, reused across CAS retries, reclaimed on
         // every non-publishing exit (no leaks on contention).
         let mut spare: Option<crate::alloc::BlockRef> = None;
+        let mut guard = self.smr.pin();
         loop {
-            let (pred_cell, _, curr_enc, found) = self.search(node, key)?;
+            let (pred_cell, _, curr_enc, found) = self.search(&guard, node, key)?;
             if found == Some(key) {
                 if let Some(n) = spare {
                     // Never published: freeing inline is safe.
@@ -247,7 +265,32 @@ impl<K: Word> DurableList<K> {
             let n = match spare {
                 Some(n) => n,
                 None => {
-                    let n = self.alloc.alloc(node, 2)?.expect("list heap exhausted");
+                    let mut attempts = 0u32;
+                    let n = loop {
+                        if let Some(n) = self.alloc.alloc(node, 2)? {
+                            break n;
+                        }
+                        // The region may be exhausted only transiently:
+                        // retired nodes waiting out their grace period
+                        // are not on the free lists yet. Unpin (so the
+                        // epoch can fully advance), reclaim — waiting
+                        // out concurrent traversals between empty
+                        // attempts — then re-pin and retry before
+                        // declaring real exhaustion.
+                        drop(guard);
+                        let freed = self.smr.collect(node)?;
+                        attempts += 1;
+                        assert!(
+                            freed > 0 || attempts < 64,
+                            "list heap exhausted (nothing left to reclaim): {:?} {:?}",
+                            self.smr.stats(),
+                            self.alloc.stats(),
+                        );
+                        if freed == 0 {
+                            crate::smr::exhaustion_backoff(attempts);
+                        }
+                        guard = self.smr.pin();
+                    };
                     self.persist
                         .private_store(node, self.key_cell(n.loc), key, true)?;
                     n
@@ -277,9 +320,9 @@ impl<K: Word> DurableList<K> {
     }
 
     /// Removes `key`; returns `false` if it was not present. The
-    /// unlinked node is *retired* (by whoever wins the physical
-    /// unlink); a quiesced [`DurableList::reclaim`] returns retirees to
-    /// the allocator.
+    /// unlinked node is retired (by whoever wins the physical unlink)
+    /// through the reclamation domain and returns to the allocator once
+    /// every concurrent traversal has finished — no quiescence needed.
     ///
     /// # Errors
     ///
@@ -287,8 +330,9 @@ impl<K: Word> DurableList<K> {
     pub fn remove(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
         let key = key.to_word();
+        let guard = self.smr.pin();
         loop {
-            let (pred_cell, pred_gen, curr_enc, found) = self.search(node, key)?;
+            let (pred_cell, pred_gen, curr_enc, found) = self.search(&guard, node, key)?;
             if found != Some(key) {
                 self.persist.complete_op(node)?;
                 return Ok(false);
@@ -300,9 +344,9 @@ impl<K: Word> DurableList<K> {
             }
             // Logical deletion: set the mark (this is the linearization
             // point, persisted by the FliT CAS wrapper). Sound even
-            // though the expected value is a fresh read: retire-based
-            // reclamation guarantees `curr`'s cells are not recycled
-            // while this operation is in flight.
+            // though the expected value is a fresh read: the epoch pin
+            // guarantees `curr`'s cells are not recycled while this
+            // operation is in flight.
             if self
                 .persist
                 .shared_cas(node, self.next_cell(curr), next_raw, next_raw | MARK, true)?
@@ -323,38 +367,38 @@ impl<K: Word> DurableList<K> {
                 )?
                 .is_ok()
             {
-                self.retired.lock().push(curr);
+                guard.retire(node, curr)?;
             }
             self.persist.complete_op(node)?;
             return Ok(true);
         }
     }
 
-    /// Returns every retired node to the allocator for reuse, giving
-    /// back the count. **Must run quiesced**: no concurrent operations
-    /// on this list (same contract as the `recover` methods) — an
-    /// in-flight traversal may still hold pointers into retired nodes.
-    /// Retirees are per-handle (clones share; separate `attach`es do
-    /// not); nodes retired but not reclaimed before a crash are leaked,
-    /// like any crashed operation's cells.
+    /// Runs an explicit reclamation pass on the domain
+    /// ([`SmrDomain::collect`]), returning the number of blocks — from
+    /// *any* structure on this domain — handed back to the allocator.
+    ///
+    /// **Deprecated as a requirement**: the pre-SMR quarantine needed a
+    /// quiesced `reclaim` call to make churn workloads run in bounded
+    /// memory. Retirement now amortizes collection automatically and is
+    /// safe under full concurrency, so this is only an optional nudge
+    /// (e.g. to ripen everything between workload phases); it no longer
+    /// requires quiescence.
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
     pub fn reclaim(&self, at: &impl AsNode) -> OpResult<usize> {
         let node = at.as_node();
-        let drained: Vec<Loc> = std::mem::take(&mut *self.retired.lock());
-        for loc in &drained {
-            let freed = self.alloc.free(node, *loc)?;
-            debug_assert!(freed.is_ok(), "retired nodes are allocated exactly once");
-        }
+        let freed = self.smr.collect(node)?;
         self.persist.complete_op(node)?;
-        Ok(drained.len())
+        Ok(freed)
     }
 
-    /// Membership test. Retire-based reclamation keeps traversals as
-    /// safe as the classic non-reclaiming Harris list: retired nodes'
-    /// cells stay frozen until a quiesced [`DurableList::reclaim`].
+    /// Membership test. The operation's epoch pin keeps every node it
+    /// dereferences out of reuse, so traversals are as safe as in the
+    /// classic non-reclaiming Harris list — even against fully
+    /// concurrent removal and reclamation.
     ///
     /// # Errors
     ///
@@ -362,18 +406,21 @@ impl<K: Word> DurableList<K> {
     pub fn contains(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
         let key = key.to_word();
-        let (_, _, _, found) = self.search(node, key)?;
+        let guard = self.smr.pin();
+        let (_, _, _, found) = self.search(&guard, node, key)?;
         self.persist.complete_op(node)?;
         Ok(found == Some(key))
     }
 
-    /// Snapshot of the keys in order (single-threaded helper).
+    /// Snapshot of the keys in order (single-threaded helper; pinned,
+    /// so concurrent reclamation cannot recycle nodes under it).
     ///
     /// # Errors
     ///
     /// Fails if the issuing machine has crashed.
     pub fn keys(&self, at: &impl AsNode) -> OpResult<Vec<K>> {
         let node = at.as_node();
+        let _guard = self.smr.pin();
         let mut out = Vec::new();
         let mut curr_enc = unmark(self.persist.shared_load(node, self.head, true)?);
         let mut steps = 0u32;
@@ -403,14 +450,18 @@ mod tests {
     use crate::flit::FlitCxl0;
     use cxl0_model::{MachineId, SystemConfig};
 
+    fn domain(f: &SimFabric, mem: MachineId) -> Arc<SmrDomain> {
+        Arc::new(SmrDomain::new(Arc::new(Allocator::over_region(
+            f.config(),
+            mem,
+            Arc::new(FlitCxl0::default()),
+        ))))
+    }
+
     fn setup() -> (Arc<SimFabric>, DurableList) {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 14));
-        let alloc = Arc::new(Allocator::over_region(
-            f.config(),
-            MachineId(2),
-            Arc::new(FlitCxl0::default()),
-        ));
-        let l = DurableList::create(&alloc, &f.node(MachineId(0)))
+        let smr = domain(&f, MachineId(2));
+        let l = DurableList::create(&smr, &f.node(MachineId(0)))
             .unwrap()
             .unwrap();
         (f, l)
@@ -430,7 +481,7 @@ mod tests {
     }
 
     #[test]
-    fn remove_retires_and_reclaim_recycles() {
+    fn remove_retires_and_collect_recycles() {
         let (f, l) = setup();
         let node = f.node(MachineId(0));
         for k in 1..=5u64 {
@@ -439,8 +490,8 @@ mod tests {
         assert!(l.remove(&node, 3).unwrap());
         assert!(!l.remove(&node, 3).unwrap());
         assert_eq!(l.keys(&node).unwrap(), vec![1, 2, 4, 5]);
-        // The unlinked node sits in the quarantine until a quiesced
-        // reclaim hands it back for reuse.
+        // The unlinked node waits out its grace period in limbo; with
+        // no traversal in flight one explicit pass ripens it.
         assert_eq!(l.reclaim(&node).unwrap(), 1);
         assert_eq!(l.reclaim(&node).unwrap(), 0);
         assert!(l.insert(&node, 3).unwrap());
@@ -450,22 +501,19 @@ mod tests {
     #[test]
     fn insert_remove_churn_runs_in_bounded_memory() {
         let f = SimFabric::new(SystemConfig::symmetric_nvm(2, 256));
-        let alloc = Arc::new(Allocator::over_region(
-            f.config(),
-            MachineId(1),
-            Arc::new(FlitCxl0::default()),
-        ));
+        let smr = domain(&f, MachineId(1));
         let node = f.node(MachineId(0));
-        let l: DurableList = DurableList::create(&alloc, &node).unwrap().unwrap();
+        let l: DurableList = DurableList::create(&smr, &node).unwrap().unwrap();
+        // No reclaim calls anywhere: amortized collection alone must
+        // keep a tiny region from exhausting.
         for i in 0..500u64 {
             let k = i % 7 + 1;
             assert!(l.insert(&node, k).unwrap(), "op {i}");
             assert!(l.remove(&node, k).unwrap(), "op {i}");
-            // Single-threaded churn is quiescent between ops: reclaim
-            // every round, so the region never exhausts.
-            assert_eq!(l.reclaim(&node).unwrap(), 1, "op {i}");
         }
-        assert!(alloc.stats().freelist_hits > 400);
+        let stats = smr.allocator().stats();
+        assert!(stats.freelist_hits > 400, "hits {}", stats.freelist_hits);
+        assert!(smr.limbo_len() < 32, "limbo {}", smr.limbo_len());
     }
 
     #[test]
@@ -515,12 +563,17 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
-        // The list must still be sorted and duplicate-free, and (now
-        // quiescent) the retired nodes reclaim cleanly.
+        // The list must still be sorted and duplicate-free, and the
+        // contended churn must have retired (and mostly reclaimed)
+        // nodes along the way.
         let keys = l.keys(&node0).unwrap();
         assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
-        let reclaimed = l.reclaim(&node0).unwrap();
-        assert!(reclaimed > 0, "contended churn must have retired nodes");
+        assert!(
+            l.smr.stats().retires > 0,
+            "contended churn must have retired nodes"
+        );
+        l.reclaim(&node0).unwrap();
+        assert_eq!(l.smr.limbo_len(), 0, "quiescent pass drains limbo");
     }
 
     #[test]

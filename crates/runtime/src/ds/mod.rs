@@ -7,10 +7,16 @@
 //! All structures are non-blocking (CAS-based), as FliT assumes for
 //! liveness. The pointer-based structures (queue, stack, list, map)
 //! allocate — and **reclaim** — their nodes through the
-//! crash-consistent allocator ([`crate::alloc`]): dequeues, pops and
-//! removes return blocks for reuse, so churn workloads run in bounded
-//! memory, and generation-tagged pointer words keep every CAS ABA-safe
-//! under reuse (the Michael–Scott counted-pointer scheme). The
+//! crash-consistent allocator ([`crate::alloc`]), so churn workloads
+//! run in bounded memory, but they reclaim on two different
+//! disciplines: the queue and stack free unlinked nodes *inline*
+//! (every CAS they issue compares a generation-tagged word, the
+//! Michael–Scott counted-pointer scheme, so recycling under a racing
+//! operation is harmless), while the traversal structures — sorted
+//! list and hash map — *retire* unlinked blocks through the cluster's
+//! epoch-based reclamation domain ([`crate::smr`]) and get them back
+//! only after every concurrently pinned operation has finished.
+//! `docs/RECLAMATION.md` develops the argument for the split. The
 //! fixed-footprint structures (register, counter, log) still carve
 //! their cells straight from the bump heap: they are roots, never
 //! reclaimed.

@@ -34,6 +34,10 @@
 //!   memory node's durable segment: per-class free lists, durable
 //!   allocation intents, generation-tagged (ABA-safe) pointers and a
 //!   recovery sweep.
+//! * [`smr`] — epoch-based safe memory reclamation between the
+//!   allocator and the traversal structures: traversals pin the global
+//!   epoch, unlinked blocks retire into volatile per-epoch limbo bags,
+//!   and reclamation waits out a grace period instead of quiescence.
 //! * [`heap`] — the raw bump tail the allocator builds on.
 //! * [`cost`] — simulated per-primitive latencies (Figure-5 shaped).
 //!
@@ -79,6 +83,7 @@ pub mod error;
 pub mod flit;
 pub mod flit_async;
 pub mod heap;
+pub mod smr;
 pub mod snapshot;
 
 pub use alloc::{AllocStats, Allocator, BlockRef, FreeError};
@@ -96,4 +101,5 @@ pub use flit::{
 };
 pub use flit_async::FlitAsync;
 pub use heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
+pub use smr::{SmrDomain, SmrGuard, SmrStats};
 pub use snapshot::{take_gpf_snapshot, MemorySnapshot};

@@ -312,10 +312,18 @@ fn stack_and_list_churn_run_past_bump_capacity() {
         assert_eq!(stack.pop(&s).unwrap(), Some(i + 1));
         assert!(list.insert(&s, i % 9 + 1).unwrap(), "op {i}");
         assert!(list.remove(&s, i % 9 + 1).unwrap(), "op {i}");
-        // The list retires unlinked nodes; this loop is quiescent
-        // between operations, so reclaim every round.
-        assert_eq!(list.reclaim(&s).unwrap(), 1, "op {i}");
+        // No reclaim calls: the list retires unlinked nodes through the
+        // SMR domain, whose amortized collection must keep this tiny
+        // region serviceable on its own.
     }
+    let d = s.stats_delta();
+    assert!(d.smr_retires >= 1500, "retires {}", d.smr_retires);
+    assert!(
+        d.smr_reclaims > d.smr_retires - 64,
+        "limbo must stay bounded ({} retired, {} reclaimed)",
+        d.smr_retires,
+        d.smr_reclaims
+    );
 }
 
 /// Allocator recovery is wired into the session API: a torn allocator
