@@ -457,18 +457,24 @@ fn combined_sweep_row(
     }
 }
 
-/// One measured churn-sweep row: queue throughput plus the allocator
-/// counters that make memory behavior part of the perf trajectory.
+/// One measured churn-sweep row: structure throughput plus the
+/// allocator counters that make memory behavior part of the perf
+/// trajectory and, for traversal structures, the epoch-reclamation
+/// (`smr_*`) counters that make grace-period behavior part of it too.
 struct ChurnRow {
     row: Row,
     mem: AllocStats,
+    smr_pins: u64,
+    smr_retires: u64,
+    smr_reclaims: u64,
+    smr_limbo: u64,
 }
 
 impl ChurnRow {
     fn to_json(&self) -> String {
         let hit_rate = self.mem.freelist_hits as f64 / self.mem.allocs.max(1) as f64;
         format!(
-            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"mops_per_sec\":{:.3},\"sim_ns_per_op\":{:.3},\"allocs\":{},\"frees\":{},\"freelist_hits\":{},\"freelist_hit_rate\":{:.3},\"hw_cells\":{}}}",
+            "{{\"mode\":\"{}\",\"threads\":{},\"ops\":{},\"mops_per_sec\":{:.3},\"sim_ns_per_op\":{:.3},\"allocs\":{},\"frees\":{},\"freelist_hits\":{},\"freelist_hit_rate\":{:.3},\"hw_cells\":{},\"smr_pins\":{},\"smr_retires\":{},\"smr_reclaims\":{},\"smr_limbo\":{}}}",
             self.row.mode,
             self.row.threads,
             self.row.ops,
@@ -479,25 +485,58 @@ impl ChurnRow {
             self.mem.freelist_hits,
             hit_rate,
             self.mem.hw_cells,
+            self.smr_pins,
+            self.smr_retires,
+            self.smr_reclaims,
+            self.smr_limbo,
         )
     }
 }
 
+/// Which structure a churn row hammers. The queue reclaims through
+/// counted pointers (inline frees, `smr_*` all zero); the sorted list
+/// retires through the epoch domain, so its rows are where the `smr_*`
+/// counters carry signal (retires ≈ reclaims, bounded limbo).
+#[derive(Clone, Copy)]
+enum ChurnStructure {
+    Queue,
+    List,
+}
+
+impl ChurnStructure {
+    fn label(self, mode: PersistMode) -> String {
+        match self {
+            // Bare mode name for continuity with earlier baselines.
+            ChurnStructure::Queue => mode.name().to_string(),
+            ChurnStructure::List => format!("list/{}", mode.name()),
+        }
+    }
+}
+
 /// Runs one churn-sweep row: `threads` sessions driving one shared
-/// `DurableQueue` with the balanced alloc-churn mix over a region small
+/// structure with the balanced alloc-churn mix over a region small
 /// enough that only node reclamation sustains the traffic.
-fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow {
+fn churn_row(
+    structure: ChurnStructure,
+    mode: PersistMode,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ChurnRow {
     // Small region: the bump tail alone could never absorb the sweep.
     let cluster = bench_cluster(1 << 14, mode);
     let setup = cluster.session(MachineId(0));
     let queue = setup
         .create_queue::<u64>("perf/churn")
         .expect("heap fits the queue");
+    let list = setup
+        .create_list::<u64>("perf/churn-list")
+        .expect("heap fits the list");
     let start_gate = Arc::new(Barrier::new(threads + 1));
     let mut handles = Vec::with_capacity(threads);
     for t in 0..threads {
         let session = cluster.session(MachineId(t % 2));
         let queue = queue.clone();
+        let list = list.clone();
         let gate = Arc::clone(&start_gate);
         handles.push(std::thread::spawn(move || {
             let mut w = Workload::new(KeyDist::uniform(1 << 20), OpMix::alloc_churn(), t as u64);
@@ -505,15 +544,27 @@ fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow
             let start = Instant::now();
             let mut ops = 0u64;
             for op in w.take_ops(ops_per_thread as usize) {
-                match op {
-                    WorkloadOp::Insert(k, _) => {
+                match (structure, op) {
+                    (ChurnStructure::Queue, WorkloadOp::Insert(k, _)) => {
                         assert!(
                             queue.enqueue(&session, k).unwrap(),
                             "heap exhausted: node reclamation regressed"
                         );
                     }
-                    WorkloadOp::Remove(_) | WorkloadOp::Read(_) => {
+                    (ChurnStructure::Queue, WorkloadOp::Remove(_) | WorkloadOp::Read(_)) => {
                         queue.dequeue(&session).unwrap();
+                    }
+                    // Bounded key space: removals actually hit, so the
+                    // list stays small and every op retires or chases
+                    // retired nodes — maximum reclamation pressure.
+                    (ChurnStructure::List, WorkloadOp::Insert(k, _)) => {
+                        list.insert(&session, k % 512 + 1).unwrap();
+                    }
+                    (ChurnStructure::List, WorkloadOp::Remove(k)) => {
+                        list.remove(&session, k % 512 + 1).unwrap();
+                    }
+                    (ChurnStructure::List, WorkloadOp::Read(k)) => {
+                        list.contains(&session, k % 512 + 1).unwrap();
                     }
                 }
                 ops += 1;
@@ -532,7 +583,7 @@ fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow
     let delta = cluster.stats_snapshot().since(&before);
     ChurnRow {
         row: Row {
-            mode: mode.name().to_string(),
+            mode: structure.label(mode),
             threads,
             ops,
             wall_ns,
@@ -547,6 +598,10 @@ fn churn_row(mode: PersistMode, threads: usize, ops_per_thread: u64) -> ChurnRow
             live_cells: delta.live_cells,
             hw_cells: delta.hw_cells,
         },
+        smr_pins: delta.smr_pins,
+        smr_retires: delta.smr_retires,
+        smr_reclaims: delta.smr_reclaims,
+        smr_limbo: delta.smr_limbo,
     }
 }
 
@@ -703,17 +758,22 @@ fn main() {
             ]
         };
         for &mode in &churn_modes {
-            for t in [1usize, 2, 4] {
-                let row = churn_row(mode, t, churn_ops);
-                eprintln!(
-                    "  churn/{} {}t: {:.3} Mops/s ({:.1}% free-list hits, hw {} cells)",
-                    row.row.mode,
-                    t,
-                    row.row.mops_per_sec(),
-                    100.0 * row.mem.freelist_hits as f64 / row.mem.allocs.max(1) as f64,
-                    row.mem.hw_cells
-                );
-                churn_rows.push(row);
+            for structure in [ChurnStructure::Queue, ChurnStructure::List] {
+                for t in [1usize, 2, 4] {
+                    let row = churn_row(structure, mode, t, churn_ops);
+                    eprintln!(
+                        "  churn/{} {}t: {:.3} Mops/s ({:.1}% free-list hits, hw {} cells, {} retires / {} reclaims, limbo {})",
+                        row.row.mode,
+                        t,
+                        row.row.mops_per_sec(),
+                        100.0 * row.mem.freelist_hits as f64 / row.mem.allocs.max(1) as f64,
+                        row.mem.hw_cells,
+                        row.smr_retires,
+                        row.smr_reclaims,
+                        row.smr_limbo
+                    );
+                    churn_rows.push(row);
+                }
             }
         }
     }

@@ -9,8 +9,8 @@ use cxl0_model::{Loc, MachineId, SystemConfig};
 use crate::alloc::layout::{
     decode_addr, decode_gen, head_slot, head_top, head_ver, head_word, header_class, header_gen,
     header_next, header_state, header_word, intent_block, null_word, op_class, op_kind, op_word,
-    popping_word, ptr_word, GEN_MASK, HUGE_CLASS, OP_ALLOC, OP_FREE, ST_ALLOCATED, ST_FREE,
-    ST_FREEING,
+    popping_word, ptr_word, seed_gen, GEN_MASK, HUGE_CLASS, OP_ALLOC, OP_FREE, ST_ALLOCATED,
+    ST_FREE, ST_FREEING,
 };
 use crate::backend::{AsNode, NodeHandle};
 use crate::error::OpResult;
@@ -505,16 +505,22 @@ impl Allocator {
             return Ok(None);
         };
         let payload = block.addr.0 + 1;
+        // Fresh blocks start at a per-address *seed* generation (nonzero,
+        // odd — see `seed_gen`) rather than zero: pointer words into a
+        // brand-new block are already distinguishable from application
+        // scalars and from any other block's words.
+        let gen = seed_gen(payload);
         self.persist.private_store(
             node,
             self.header_cell(payload),
-            header_word(ST_ALLOCATED, class_tag, 0, None),
+            header_word(ST_ALLOCATED, class_tag, gen, None),
             true,
         )?;
         self.note_alloc(payload_cells);
+        node.check_alloc(Loc::new(self.region, payload), payload_cells, gen);
         Ok(Some(BlockRef {
             loc: Loc::new(self.region, payload),
-            gen: 0,
+            gen,
             recycled: false,
         }))
     }
@@ -645,6 +651,7 @@ impl Allocator {
             }
             self.persist
                 .private_store(node, self.op_cell(slot), 0, true)?;
+            node.check_alloc(payload, class_cells(class), gen);
             return Ok(PopOutcome::Got(BlockRef {
                 loc: payload,
                 gen,
@@ -747,6 +754,7 @@ impl Allocator {
             Ok(_) => self.slots.release(slot),
         }
         if matches!(outcome, Ok(FreeOutcome::Done)) {
+            node.check_free(payload);
             self.frees.fetch_add(1, Ordering::Relaxed);
             let cells = u64::from(class_cells(class as usize));
             let _ = self
@@ -1099,11 +1107,15 @@ mod tests {
         let (f, a) = setup(1024);
         let node = f.node(MachineId(0));
         let b1 = a.alloc(&node, 2).unwrap().unwrap();
-        assert_eq!(b1.gen, 0);
+        assert_ne!(b1.gen, 0, "fresh blocks carry a nonzero seed generation");
         a.free(&node, b1.loc).unwrap().unwrap();
         let b2 = a.alloc(&node, 2).unwrap().unwrap();
         assert_eq!(b2.loc, b1.loc, "freed block is reused");
-        assert_eq!(b2.gen, 1, "reuse bumps the generation");
+        assert_eq!(
+            b2.gen,
+            b1.gen.wrapping_add(1) & GEN_MASK,
+            "reuse bumps the generation"
+        );
         assert_ne!(Allocator::encode(b1), Allocator::encode(b2));
         let s = a.stats();
         assert_eq!((s.allocs, s.frees, s.freelist_hits), (2, 1, 1));

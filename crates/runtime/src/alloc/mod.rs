@@ -117,7 +117,7 @@
 //! [`Session::stats_delta`](crate::api::Session::stats_delta).
 
 mod allocator;
-mod layout;
+pub(crate) mod layout;
 
 pub use allocator::{
     AllocRecovery, AllocStats, Allocator, BlockRef, FreeError, TornAlloc, TornFree, INTENT_SLOTS,

@@ -15,6 +15,7 @@ use crate::api::registry::{RootDirectory, ENTRY_CELLS};
 use crate::api::session::Session;
 use crate::backend::{SimFabric, Stats, StatsSnapshot};
 use crate::buffered::BufferedEpoch;
+use crate::check::{CheckConfig, Checker};
 use crate::cost::CostModel;
 use crate::ds::combine::{Combinable, CombineBoard, CombineStats, Combined};
 use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, Persistence};
@@ -119,6 +120,7 @@ pub struct ClusterBuilder {
     mode: PersistMode,
     memory_node: Option<MachineId>,
     root_capacity: u32,
+    checker: Option<CheckConfig>,
 }
 
 impl ClusterBuilder {
@@ -133,6 +135,7 @@ impl ClusterBuilder {
             mode: PersistMode::FlitCxl0,
             memory_node: None,
             root_capacity: 32,
+            checker: None,
         }
     }
 
@@ -166,6 +169,16 @@ impl ClusterBuilder {
     /// names will fail with [`ApiError::RegistryFull`]).
     pub fn root_capacity(mut self, entries: u32) -> Self {
         self.root_capacity = entries;
+        self
+    }
+
+    /// Arms the persistency sanitizer ([`crate::check`]) with an explicit
+    /// configuration. Without this call, setting `CXL0_SANITIZE=1` in the
+    /// environment arms a mode-derived configuration instead (durability
+    /// races only under strict modes; fail-fast except under the
+    /// deliberately unsound [`PersistMode::FlitX86`]).
+    pub fn with_checker(mut self, cfg: CheckConfig) -> Self {
+        self.checker = Some(cfg);
         self
     }
 
@@ -210,6 +223,27 @@ impl ClusterBuilder {
         let registry_cells = self.root_capacity * ENTRY_CELLS;
 
         let fabric = SimFabric::with_options(self.cfg.clone(), self.variant, self.cost);
+        // Arm the sanitizer before any traffic (the allocator format
+        // below must already be mirrored). An explicit `with_checker`
+        // wins; otherwise `CXL0_SANITIZE=1` arms a mode-derived
+        // configuration: durability races only under strict modes
+        // (buffered modes legally persist out of publication order),
+        // fail-fast except under the deliberately unsound FlitX86.
+        let check_cfg = self.checker.or_else(|| {
+            std::env::var("CXL0_SANITIZE")
+                .ok()
+                .filter(|v| !v.is_empty() && v != "0")
+                .map(|_| CheckConfig {
+                    durability_races: self.mode.is_strict(),
+                    unpersisted_reads: true,
+                    use_after_retire: true,
+                    fail_fast: !matches!(self.mode, PersistMode::FlitX86),
+                })
+        });
+        let checker = check_cfg.map(|cfg| Arc::new(Checker::new(cfg)));
+        if let Some(ck) = &checker {
+            fabric.install_checker(Arc::clone(ck));
+        }
         let heap = Arc::new(SharedHeap::with_range(
             fabric.config(),
             memory_node,
@@ -270,6 +304,11 @@ impl ClusterBuilder {
         // every traversal structure shares these epochs, which is what
         // makes grace periods sound across handles.
         let smr = Arc::new(SmrDomain::new(Arc::clone(&allocator)));
+        if let Some(ck) = &checker {
+            // pin/unpin never touch the fabric, so the domain carries
+            // its own handle to the same checker.
+            smr.install_checker(Arc::clone(ck));
+        }
 
         Ok(Arc::new(Cluster {
             fabric,
@@ -281,6 +320,7 @@ impl ClusterBuilder {
             mode: self.mode,
             memory_node,
             directory,
+            checker,
             combine_stats: Arc::new(CombineStats::default()),
             combine_boards: Mutex::new(HashMap::new()),
         }))
@@ -306,6 +346,9 @@ pub struct Cluster {
     mode: PersistMode,
     memory_node: MachineId,
     directory: RootDirectory,
+    /// The persistency sanitizer, when armed (see
+    /// [`ClusterBuilder::with_checker`]).
+    checker: Option<Arc<Checker>>,
     /// Cluster-wide combining counters (all fronts share one set).
     combine_stats: Arc<CombineStats>,
     /// Volatile announcement boards, keyed by structure root cell so
@@ -375,6 +418,12 @@ impl Cluster {
         self.buffered.as_ref()
     }
 
+    /// The persistency sanitizer, when armed (via
+    /// [`ClusterBuilder::with_checker`] or `CXL0_SANITIZE=1`).
+    pub fn checker(&self) -> Option<&Arc<Checker>> {
+        self.checker.as_ref()
+    }
+
     /// The configured durability mode.
     pub fn mode(&self) -> PersistMode {
         self.mode
@@ -422,6 +471,11 @@ impl Cluster {
         snap.smr_advances = smr.advances;
         snap.smr_epoch = smr.epoch;
         snap.smr_limbo = smr.limbo;
+        if let Some(ck) = &self.checker {
+            snap.check_durability_races = ck.durability_races();
+            snap.check_unpersisted_reads = ck.unpersisted_reads();
+            snap.check_use_after_retire = ck.use_after_retire();
+        }
         snap
     }
 

@@ -65,7 +65,7 @@
 //! transition, as in the model.
 
 use std::sync::atomic::{fence, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cxl0_model::{Loc, MachineId, MemoryKind, ModelVariant, Primitive, StoreKind, SystemConfig};
 use parking_lot::Mutex;
@@ -400,6 +400,18 @@ pub struct StatsSnapshot {
     /// Reclamation-domain gauge: blocks currently in limbo (see
     /// [`StatsSnapshot::smr_epoch`]).
     pub smr_limbo: u64,
+    /// Persistency sanitizer: durability races detected. Zero in
+    /// raw-fabric snapshots and when no checker is installed; populated
+    /// by the cluster layer from [`Checker`](crate::check::Checker)
+    /// counters. A *gauge* for [`StatsSnapshot::since`] purposes: the
+    /// running total is what you want to assert on.
+    pub check_durability_races: u64,
+    /// Persistency sanitizer: unpersisted-read-at-recovery violations
+    /// detected (see [`StatsSnapshot::check_durability_races`]).
+    pub check_unpersisted_reads: u64,
+    /// Persistency sanitizer: use-after-retire violations detected (see
+    /// [`StatsSnapshot::check_durability_races`]).
+    pub check_use_after_retire: u64,
 }
 
 impl StatsSnapshot {
@@ -459,6 +471,9 @@ impl StatsSnapshot {
             smr_advances: self.smr_advances - earlier.smr_advances,
             smr_epoch: self.smr_epoch,
             smr_limbo: self.smr_limbo,
+            check_durability_races: self.check_durability_races,
+            check_unpersisted_reads: self.check_unpersisted_reads,
+            check_use_after_retire: self.check_use_after_retire,
         }
     }
 }
@@ -732,6 +747,11 @@ pub struct SimFabric {
     pending: Vec<PendingBuf>,
     stats: Stats,
     cost: CostModel,
+    /// The persistency sanitizer, when one is installed
+    /// ([`SimFabric::install_checker`]). Hooks are called with the
+    /// affected cell's writer lock held; the checker never touches
+    /// cells, so the cell → checker lock order is acyclic.
+    checker: OnceLock<Arc<crate::check::Checker>>,
 }
 
 impl SimFabric {
@@ -769,7 +789,21 @@ impl SimFabric {
             extents,
             stats: Stats::default(),
             cost,
+            checker: OnceLock::new(),
         })
+    }
+
+    /// Installs the persistency sanitizer on this fabric. At most one
+    /// checker per fabric; later calls are ignored. Prefer
+    /// [`ClusterBuilder::with_checker`](crate::api::ClusterBuilder::with_checker),
+    /// which also wires the allocator, SMR domain and root registry.
+    pub fn install_checker(&self, checker: Arc<crate::check::Checker>) {
+        let _ = self.checker.set(checker);
+    }
+
+    /// The installed persistency sanitizer, if any.
+    pub fn checker(&self) -> Option<&Arc<crate::check::Checker>> {
+        self.checker.get()
     }
 
     /// The system configuration.
@@ -827,6 +861,8 @@ impl SimFabric {
         let _serial = self.crash_lock.lock();
         self.crash_word.halted.store(1, Ordering::SeqCst);
         self.stats.await_quiescent();
+        let mut crashed_bits = 0u64;
+        let mut zeroed_bits = 0u64;
         for d in self.cfg.failure_domain(m) {
             self.crash_word
                 .crashed
@@ -834,6 +870,10 @@ impl SimFabric {
             // Un-retired asynchronous flush requests die with the machine.
             self.pending[d.index()].clear();
             let bit = 1u64 << d.index();
+            crashed_bits |= bit;
+            if self.cfg.machine(d).memory == MemoryKind::Volatile {
+                zeroed_bits |= bit;
+            }
             for owner in self.cfg.machines() {
                 for a in 0..self.cfg.machine(owner).locations {
                     let st = self.cells[self.extents[owner.index()].0 + a as usize].lock();
@@ -851,6 +891,11 @@ impl SimFabric {
                     }
                 }
             }
+        }
+        if let Some(ck) = self.checker.get() {
+            // The world is stopped: the shadow sees the same atomic
+            // transition the fabric just performed.
+            ck.on_crash(crashed_bits, zeroed_bits, self.variant == ModelVariant::Psn);
         }
         self.crash_word.halted.store(0, Ordering::SeqCst);
     }
@@ -893,16 +938,33 @@ impl SimFabric {
                     st.set_holders((st.holders() & !(1u64 << idx)) | owner_bit);
                 }
             }
+            if let Some(ck) = self.checker.get() {
+                ck.on_mutate(None, loc, st.holders(), st.cache_val(), st.mem_val());
+            }
         }
     }
 
     /// Drains every cache to memory (the state change a successful `GPF`
     /// waits for). Exposed for orderly-shutdown scenarios.
     pub fn drain_all(&self) {
-        for cell in self.cells.iter() {
-            // Cheap optimistic skip: most cells are uncached.
-            if cell.read().0 != 0 {
-                cell.lock().drain();
+        for owner in self.cfg.machines() {
+            let (base, count) = self.extents[owner.index()];
+            for a in 0..count {
+                let cell = &self.cells[base + a as usize];
+                // Cheap optimistic skip: most cells are uncached.
+                if cell.read().0 != 0 {
+                    let st = cell.lock();
+                    st.drain();
+                    if let Some(ck) = self.checker.get() {
+                        ck.on_mutate(
+                            None,
+                            Loc::new(owner, a),
+                            st.holders(),
+                            st.cache_val(),
+                            st.mem_val(),
+                        );
+                    }
+                }
             }
         }
     }
@@ -1039,6 +1101,77 @@ impl NodeHandle {
         self.fabric.cost.cost(p, self.machine == loc.owner)
     }
 
+    /// Sanitizer hook: mirror a settled mutation of `loc` (called with
+    /// the cell's writer lock held, so per-cell event order is exact).
+    fn check_mutate(&self, loc: Loc, st: &CellGuard<'_>) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_mutate(
+                Some((self.machine, thread_slot_index())),
+                loc,
+                st.holders(),
+                st.cache_val(),
+                st.mem_val(),
+            );
+        }
+    }
+
+    /// Sanitizer hook: an application read of `loc`.
+    fn check_load(&self, loc: Loc) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_load((self.machine, thread_slot_index()), loc);
+        }
+    }
+
+    /// Sanitizer seam for the [`Persistence`](crate::Persistence)
+    /// strategies: the strategy just acknowledged its store/RMW on `loc`
+    /// as durable. No-op without a checker.
+    pub(crate) fn ack_persist(&self, loc: Loc) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_ack(self.machine, loc);
+        }
+    }
+
+    /// Sanitizer seam for the allocator: the block whose payload starts
+    /// at `loc` (spanning `cells` cells, reuse generation `gen`) was
+    /// just handed out.
+    pub(crate) fn check_alloc(&self, loc: Loc, cells: u32, gen: u64) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_alloc(loc, cells, gen);
+        }
+    }
+
+    /// Sanitizer seam for the allocator: the block at `loc` returned to
+    /// its free list.
+    pub(crate) fn check_free(&self, loc: Loc) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_free(loc);
+        }
+    }
+
+    /// Sanitizer seam for [`crate::smr`]: the block at `loc` was retired
+    /// under global epoch `epoch`.
+    pub(crate) fn check_retire(&self, loc: Loc, epoch: u64) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_retire(loc, epoch);
+        }
+    }
+
+    /// Sanitizer seam for [`crate::smr`]: post-crash recovery voided all
+    /// reservations and limbo bags.
+    pub(crate) fn check_smr_recover(&self) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_smr_recover();
+        }
+    }
+
+    /// Sanitizer seam for the named-root registry: the block holding
+    /// `header` became durably reachable by name.
+    pub(crate) fn check_add_root(&self, header: Loc) {
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.add_root(header);
+        }
+    }
+
     /// `Load`: returns the value visible at `loc`.
     ///
     /// # Errors
@@ -1095,6 +1228,7 @@ impl NodeHandle {
                         .stats
                         .rail()
                         .bump(OpClass::Loads, self.op_cost(Primitive::Load, loc));
+                    self.check_load(loc);
                     return Ok(v);
                 }
             }
@@ -1102,12 +1236,19 @@ impl NodeHandle {
         let g = self.enter()?;
         g.charge(OpClass::Loads, self.op_cost(Primitive::Load, loc));
         let cell = self.fabric.cell(loc);
+        self.check_load(loc);
         match self.fabric.variant {
             ModelVariant::Base | ModelVariant::Psn => {
                 let st = cell.lock();
                 if st.holders() != 0 {
                     // LOAD-from-C: copy into the issuer's cache.
                     st.set_holders(st.holders() | bit);
+                    // Mirror the holder change only (a load is not a
+                    // mutation of the value: no provenance, no
+                    // lost-value clobber).
+                    if let Some(ck) = self.fabric.checker.get() {
+                        ck.on_mutate(None, loc, st.holders(), st.cache_val(), st.mem_val());
+                    }
                     Ok(st.cache_val())
                 } else {
                     // LOAD-from-M (no copy).
@@ -1122,6 +1263,9 @@ impl NodeHandle {
                     // Blocking until the line drains to memory ≡ force
                     // the drain, then read memory.
                     st.drain();
+                    if let Some(ck) = self.fabric.checker.get() {
+                        ck.on_mutate(None, loc, st.holders(), st.cache_val(), st.mem_val());
+                    }
                     Ok(st.mem_val())
                 }
             }
@@ -1139,6 +1283,7 @@ impl NodeHandle {
         let st = self.fabric.cell(loc).lock();
         st.set_cache_val(v);
         st.set_holders(1u64 << self.machine.index());
+        self.check_mutate(loc, &st);
         Ok(())
     }
 
@@ -1153,6 +1298,7 @@ impl NodeHandle {
         let st = self.fabric.cell(loc).lock();
         st.set_cache_val(v);
         st.set_holders(1u64 << loc.owner.index());
+        self.check_mutate(loc, &st);
         Ok(())
     }
 
@@ -1167,6 +1313,7 @@ impl NodeHandle {
         let st = self.fabric.cell(loc).lock();
         st.set_mem_val(v);
         st.set_holders(0);
+        self.check_mutate(loc, &st);
         Ok(())
     }
 
@@ -1209,6 +1356,7 @@ impl NodeHandle {
                 // Propagate-C-C toward the owner.
                 st.set_holders((st.holders() & !bit) | owner_bit);
             }
+            self.check_mutate(loc, &st);
         }
         Ok(())
     }
@@ -1226,7 +1374,9 @@ impl NodeHandle {
         if cell.read().0 == 0 {
             return Ok(());
         }
-        cell.lock().drain();
+        let st = cell.lock();
+        st.drain();
+        self.check_mutate(loc, &st);
         Ok(())
     }
 
@@ -1286,14 +1436,27 @@ impl NodeHandle {
         // per-line full-RFlush costs: track the slowest line and the
         // count instead of collecting a vector.
         let mut max_line = 0u64;
+        // With a checker installed, collect each retired line's
+        // post-drain state (under its lock) and report the whole batch
+        // at once: persists are mirrored before publication checks, so
+        // intra-barrier drain order can never read as a race.
+        let checking = self.fabric.checker.get().is_some();
+        let mut batch = Vec::new();
         let retired = self.fabric.pending[self.machine.index()].retire(|loc| {
             let cell = self.fabric.cell(loc);
             if cell.read().0 != 0 {
-                cell.lock().drain();
+                let st = cell.lock();
+                st.drain();
+                if checking {
+                    batch.push((loc, st.holders(), st.cache_val(), st.mem_val()));
+                }
             }
             let local = self.machine == loc.owner;
             max_line = max_line.max(self.fabric.cost.cost(Primitive::RFlush, local));
         });
+        if let Some(ck) = self.fabric.checker.get() {
+            ck.on_barrier(Some((self.machine, thread_slot_index())), &batch);
+        }
         g.charge(
             OpClass::Barriers,
             self.fabric.cost.barrier_cost_of(max_line, retired as u64),
@@ -1324,11 +1487,13 @@ impl NodeHandle {
         let (h, c, m) = cell.read();
         let visible = if h != 0 { c } else { m };
         if visible != old {
+            self.check_load(loc);
             return Ok(Err(visible));
         }
         let st = cell.lock();
         let visible = st.visible();
         if visible != old {
+            self.check_load(loc);
             return Ok(Err(visible));
         }
         match kind {
@@ -1345,6 +1510,7 @@ impl NodeHandle {
                 st.set_holders(0);
             }
         }
+        self.check_mutate(loc, &st);
         Ok(Ok(old))
     }
 
@@ -1379,6 +1545,7 @@ impl NodeHandle {
                 st.set_holders(0);
             }
         }
+        self.check_mutate(loc, &st);
         Ok(visible)
     }
 }

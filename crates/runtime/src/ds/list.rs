@@ -590,6 +590,75 @@ mod tests {
         assert!(!l.contains(&node, 4).unwrap());
     }
 
+    /// Seeded-bug detection: replay the removal protocol but free the
+    /// unlinked node inline instead of retiring it through the epoch
+    /// domain — the exact mistake the module docs warn about. A pinned
+    /// traversal then touches the reclaimed node, which the sanitizer
+    /// reports as a use-after-retire. The sound retire path right
+    /// before it must stay silent.
+    #[test]
+    fn sanitizer_flags_inline_free_instead_of_retire() {
+        use crate::check::{CheckConfig, Checker, ViolationClass};
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 1 << 14));
+        let ck = Arc::new(Checker::new(CheckConfig {
+            fail_fast: false,
+            ..CheckConfig::default()
+        }));
+        f.install_checker(Arc::clone(&ck));
+        let smr = domain(&f, MachineId(2));
+        smr.install_checker(Arc::clone(&ck));
+        let node = f.node(MachineId(0));
+        let l: DurableList = DurableList::create(&smr, &node).unwrap().unwrap();
+        for k in [2u64, 4, 6] {
+            l.insert(&node, k).unwrap();
+        }
+        // Sound removal (unlink + retire) and a traversal over the
+        // retired node's grace period: silent.
+        assert!(l.remove(&node, 4).unwrap());
+        assert!(l.contains(&node, 6).unwrap());
+        assert_eq!(ck.use_after_retire(), 0, "retire-based removal is clean");
+        // The bug: unlink 6 by hand, then free inline while a pinned
+        // traversal (this thread's own guard) is still in flight.
+        let guard = l.smr.pin();
+        let (pred_cell, pred_gen, curr_enc, found) = l.search(&guard, &node, 6).unwrap();
+        assert_eq!(found, Some(6));
+        let curr = l.alloc.decode(curr_enc).expect("found implies node");
+        let next_raw = l
+            .persist
+            .shared_load(&node, l.next_cell(curr), true)
+            .unwrap();
+        l.persist
+            .shared_cas(&node, l.next_cell(curr), next_raw, next_raw | MARK, true)
+            .unwrap()
+            .unwrap();
+        l.persist
+            .shared_cas(
+                &node,
+                pred_cell,
+                curr_enc,
+                l.unlink_word(next_raw, pred_gen),
+                true,
+            )
+            .unwrap()
+            .unwrap();
+        // Should have been `guard.retire(&node, curr)`.
+        l.alloc.free(&node, curr).unwrap().unwrap();
+        // The pinned "traversal" dereferences the reclaimed node.
+        let _ = l
+            .persist
+            .shared_load(&node, l.key_cell(curr), true)
+            .unwrap();
+        drop(guard);
+        assert_eq!(
+            ck.use_after_retire(),
+            1,
+            "pinned access to an inline-freed node is a use-after-retire"
+        );
+        let v = ck.violations().pop().expect("one violation recorded");
+        assert_eq!(v.class, ViolationClass::UseAfterRetire);
+        assert_eq!(v.loc, l.key_cell(curr), "blamed at the reclaimed cell");
+    }
+
     #[test]
     #[should_panic(expected = "key out of range")]
     fn zero_key_rejected() {

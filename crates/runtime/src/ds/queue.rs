@@ -571,6 +571,67 @@ mod tests {
         assert!(s.freelist_hits > 5_000, "churn must recycle heavily");
     }
 
+    /// Seeded-bug detection: replay the enqueue protocol with the value
+    /// store's flush deleted. Linking that node publishes a dirty cell
+    /// into the durably-reachable queue — exactly the durability race
+    /// the sanitizer exists to catch. The sound protocol right before it
+    /// must stay silent, so the test also proves the detector is not
+    /// trigger-happy.
+    #[test]
+    fn sanitizer_flags_enqueue_with_the_value_flush_deleted() {
+        use crate::check::{CheckConfig, Checker, ViolationClass};
+        let f = SimFabric::new(SystemConfig::symmetric_nvm(3, 8192));
+        let ck = Arc::new(Checker::new(CheckConfig {
+            fail_fast: false,
+            ..CheckConfig::default()
+        }));
+        f.install_checker(Arc::clone(&ck));
+        let alloc = Arc::new(Allocator::over_region(
+            f.config(),
+            MachineId(2),
+            Arc::new(FlitCxl0::default()),
+        ));
+        let node = f.node(MachineId(0));
+        let q: DurableQueue = DurableQueue::create(&alloc, &node).unwrap().unwrap();
+        // What the registry does for a named structure: seed durable
+        // reachability at the header.
+        ck.add_root(q.header_cell());
+        // The sound protocol is silent.
+        assert!(q.enqueue(&node, 1).unwrap());
+        assert_eq!(q.dequeue(&node).unwrap(), Some(1));
+        assert_eq!(ck.total_violations(), 0, "sound enqueue/dequeue is clean");
+        // The bug: value stored without its flush, then linked anyway.
+        let n = alloc.alloc(&node, 2).unwrap().unwrap();
+        q.persist
+            .private_store(&node, q.value_cell(n.loc), 42, false)
+            .unwrap();
+        q.persist
+            .private_store(&node, q.next_cell(n.loc), Allocator::null_ptr(n.gen), true)
+            .unwrap();
+        let tail = q.persist.shared_load(&node, q.tail_cell(), true).unwrap();
+        let t = alloc.decode(tail).expect("tail is never null");
+        let expected_null = Allocator::null_ptr(Allocator::ptr_gen(tail));
+        q.persist
+            .shared_cas(
+                &node,
+                q.next_cell(t),
+                expected_null,
+                Allocator::encode(n),
+                true,
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(
+            ck.durability_races(),
+            1,
+            "linking a node with an unflushed value is a durability race"
+        );
+        let v = &ck.violations()[0];
+        assert_eq!(v.class, ViolationClass::DurabilityRace);
+        assert_eq!(v.loc, q.value_cell(n.loc), "blamed at the dirty value cell");
+        assert_eq!(v.machine, Some(MachineId(0)));
+    }
+
     #[test]
     fn contents_survive_crash_and_recover_fixes_tail() {
         let (f, q) = setup();

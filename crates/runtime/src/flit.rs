@@ -256,9 +256,13 @@ impl FlitCore {
     fn shared_store(&self, node: &NodeHandle, loc: Loc, v: u64, pflag: bool) -> OpResult<()> {
         if pflag {
             self.table.enter(loc);
-            let result = node
-                .lstore(loc, v)
-                .and_then(|()| flush_with(self.policy, node, loc));
+            let result = node.lstore(loc, v).and_then(|()| {
+                flush_with(self.policy, node, loc)?;
+                // The strategy now considers `loc` persisted: the checker
+                // compares that belief against the shadow cell state.
+                node.ack_persist(loc);
+                Ok(())
+            });
             self.table.exit(loc);
             result
         } else {
@@ -270,6 +274,7 @@ impl FlitCore {
         node.lstore(loc, v)?;
         if pflag {
             flush_with(self.policy, node, loc)?;
+            node.ack_persist(loc);
         }
         Ok(())
     }
@@ -291,6 +296,9 @@ impl FlitCore {
             // as a p-load; help persist the observed value like a
             // shared_load would (condition 3 of the P-V interface).
             flush_with(self.policy, node, loc)?;
+            if r.is_ok() {
+                node.ack_persist(loc);
+            }
             Ok(r)
         });
         self.table.exit(loc);
@@ -304,6 +312,7 @@ impl FlitCore {
         self.table.enter(loc);
         let result = node.faa(StoreKind::Local, loc, delta).and_then(|old| {
             flush_with(self.policy, node, loc)?;
+            node.ack_persist(loc);
             Ok(old)
         });
         self.table.exit(loc);

@@ -38,6 +38,10 @@
 //!   allocator and the traversal structures: traversals pin the global
 //!   epoch, unlinked blocks retire into volatile per-epoch limbo bags,
 //!   and reclamation waits out a grace period instead of quiescence.
+//! * [`check`] — the **persistency sanitizer**: an opt-in shadow-state
+//!   analysis under the [`Persistence`] strategies that detects
+//!   durability races, unpersisted reads at recovery and use-after-retire
+//!   with thread/op provenance (`docs/SANITIZER.md`).
 //! * [`heap`] — the raw bump tail the allocator builds on.
 //! * [`cost`] — simulated per-primitive latencies (Figure-5 shaped).
 //!
@@ -77,6 +81,7 @@ pub mod alloc;
 pub mod api;
 pub mod backend;
 pub mod buffered;
+pub mod check;
 pub mod cost;
 pub mod ds;
 pub mod error;
@@ -90,6 +95,7 @@ pub use alloc::{AllocStats, Allocator, BlockRef, FreeError};
 pub use api::{ApiError, ApiResult, Cluster, ClusterBuilder, PersistMode, Session, Word};
 pub use backend::{AsNode, NodeHandle, SimFabric, Stats, StatsSnapshot};
 pub use buffered::BufferedEpoch;
+pub use check::{CheckConfig, Checker, Violation, ViolationClass};
 pub use cost::CostModel;
 pub use ds::{
     Combinable, CombineStats, Combined, CombinedQueue, CombinedStack, DurableCounter, DurableList,

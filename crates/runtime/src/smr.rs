@@ -81,7 +81,7 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use cxl0_model::Loc;
 use parking_lot::Mutex;
@@ -182,6 +182,11 @@ pub struct SmrDomain {
     retires: AtomicU64,
     reclaims: AtomicU64,
     advances: AtomicU64,
+    /// The persistency sanitizer, when one is installed on this domain's
+    /// cluster: pin/unpin are purely volatile (no [`NodeHandle`] in
+    /// scope), so the domain carries its own handle instead of routing
+    /// through the fabric.
+    checker: OnceLock<Arc<crate::check::Checker>>,
 }
 
 impl SmrDomain {
@@ -198,7 +203,14 @@ impl SmrDomain {
             retires: AtomicU64::new(0),
             reclaims: AtomicU64::new(0),
             advances: AtomicU64::new(0),
+            checker: OnceLock::new(),
         }
+    }
+
+    /// Installs the persistency sanitizer (first installation wins;
+    /// called from cluster construction).
+    pub(crate) fn install_checker(&self, checker: Arc<crate::check::Checker>) {
+        let _ = self.checker.set(checker);
     }
 
     /// The allocator retired blocks drain back into.
@@ -301,6 +313,9 @@ impl SmrDomain {
             }
             slot.pins.fetch_add(1, Ordering::Relaxed);
         }
+        if let Some(ck) = self.checker.get() {
+            ck.on_pin(idx, slot.word.load(Ordering::SeqCst) & EPOCH_MASK);
+        }
         SmrGuard {
             domain: self,
             slot: idx,
@@ -321,6 +336,9 @@ impl SmrDomain {
             // The epoch bits stay behind at count zero; scanners ignore
             // them and the next first pinner overwrites them.
             slot.word.fetch_sub(COUNT_ONE, Ordering::Release);
+        }
+        if let Some(ck) = self.checker.get() {
+            ck.on_unpin(idx);
         }
     }
 
@@ -344,6 +362,7 @@ impl SmrDomain {
             }
         }
         self.limbo_len.fetch_add(1, Ordering::Relaxed);
+        node.check_retire(payload, e);
         let n = self.retires.fetch_add(1, Ordering::Relaxed) + 1;
         if n.is_multiple_of(COLLECT_EVERY) {
             self.collect_inner(node)?;
@@ -469,6 +488,7 @@ impl SmrDomain {
         for slot in self.slots.iter() {
             slot.word.store(0, Ordering::SeqCst);
         }
+        node.check_smr_recover();
         let bags: Vec<Bag> = self.limbo.lock().drain(..).collect();
         let mut swept = 0;
         for bag in bags {
