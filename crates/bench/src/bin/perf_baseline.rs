@@ -28,8 +28,17 @@
 //! the batched-persistence win, with the combiner's batch/elimination
 //! counters attached to each combined row.
 //!
+//! With `--latency` a fifth sweep runs: the 8-thread queue pair
+//! workload per `PersistMode` on a **traced** cluster
+//! (`cxl0::trace`), reporting per-op p50/p99/p999 in simulated
+//! nanoseconds from the tracer's log2 histograms — distribution tails
+//! where the throughput sweeps only see means — followed by a crash of
+//! the memory node and a timed `recover_roots`, recording wall
+//! recovery time and the per-phase breakdown (buffered replay /
+//! allocator sweep / SMR drain / registry seal).
+//!
 //! ```text
-//! perf_baseline [--quick] [--churn] [--combined] [--out PATH] [--label NAME] [--baseline PATH]
+//! perf_baseline [--quick] [--churn] [--combined] [--latency] [--out PATH] [--label NAME] [--baseline PATH]
 //! ```
 //!
 //! `--baseline` embeds a previous run's JSON verbatim under `"baseline"`
@@ -45,10 +54,10 @@
 use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-use cxl0_bench::{bench_cluster, MEM_NODE};
+use cxl0_bench::{bench_cluster, bench_cluster_traced, MEM_NODE};
 use cxl0_model::{Loc, MachineId, StoreKind, SystemConfig};
 use cxl0_runtime::api::{Cluster, PersistMode};
-use cxl0_runtime::{AllocStats, SimFabric, StatsSnapshot};
+use cxl0_runtime::{AllocStats, OpKind, PhaseTiming, SimFabric, StatsSnapshot};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// Thread counts of the sweep, per the ISSUE: 1/2/4/8.
@@ -60,6 +69,7 @@ struct Options {
     quick: bool,
     churn: bool,
     combined: bool,
+    latency: bool,
     out: String,
     label: String,
     baseline: Option<String>,
@@ -70,6 +80,7 @@ fn parse_args() -> Options {
         quick: false,
         churn: false,
         combined: false,
+        latency: false,
         out: "BENCH_fabric.json".to_string(),
         label: "run".to_string(),
         baseline: None,
@@ -80,6 +91,7 @@ fn parse_args() -> Options {
             "--quick" => opts.quick = true,
             "--churn" => opts.churn = true,
             "--combined" => opts.combined = true,
+            "--latency" => opts.latency = true,
             "--out" => opts.out = args.next().expect("--out takes a path"),
             "--label" => {
                 let label = args.next().expect("--label takes a name");
@@ -93,7 +105,7 @@ fn parse_args() -> Options {
             "--baseline" => opts.baseline = Some(args.next().expect("--baseline takes a path")),
             other => {
                 panic!(
-                    "unknown argument {other:?} (try --quick/--churn/--combined/--out/--label/--baseline)"
+                    "unknown argument {other:?} (try --quick/--churn/--combined/--latency/--out/--label/--baseline)"
                 )
             }
         }
@@ -605,6 +617,127 @@ fn churn_row(
     }
 }
 
+/// One per-op latency-distribution row of the `--latency` sweep: tail
+/// percentiles in simulated nanoseconds, read off the tracer's log2
+/// histograms (bucket upper edges, so each value is a ≤2× bucket-width
+/// overestimate — stable and comparable across runs).
+struct LatencyRow {
+    mode: &'static str,
+    op: &'static str,
+    samples: u64,
+    p50_sim_ns: u64,
+    p99_sim_ns: u64,
+    p999_sim_ns: u64,
+}
+
+impl LatencyRow {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"mode\":\"{}\",\"op\":\"{}\",\"samples\":{},\"p50_sim_ns\":{},\"p99_sim_ns\":{},\"p999_sim_ns\":{}}}",
+            self.mode, self.op, self.samples, self.p50_sim_ns, self.p99_sim_ns, self.p999_sim_ns
+        )
+    }
+}
+
+/// One recovery-telemetry row: wall milliseconds for a full
+/// `recover_roots` pass after a memory-node crash, with the tracer's
+/// per-phase breakdown.
+struct RecoveryRow {
+    mode: &'static str,
+    recovery_ms: f64,
+    phases: Vec<PhaseTiming>,
+}
+
+impl RecoveryRow {
+    fn to_json(&self) -> String {
+        let phases: Vec<String> = self
+            .phases
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"phase\":\"{}\",\"wall_ns\":{},\"sim_ns\":{}}}",
+                    t.phase.name(),
+                    t.wall_ns,
+                    t.sim_ns
+                )
+            })
+            .collect();
+        format!(
+            "{{\"mode\":\"{}\",\"recovery_ms\":{:.3},\"phases\":[{}]}}",
+            self.mode,
+            self.recovery_ms,
+            phases.join(",")
+        )
+    }
+}
+
+/// Runs the `--latency` unit for one mode: the 8-thread queue pair
+/// workload on a traced cluster (per-op percentile rows), then a
+/// memory-node crash and a timed `recover_roots` (recovery row). One
+/// run, no best-of-reps: percentiles are whole-distribution statistics
+/// and the crash leaves the cluster unfit for another round.
+fn latency_unit(mode: PersistMode, pairs: u64) -> (Vec<LatencyRow>, RecoveryRow) {
+    const LAT_THREADS: usize = 8;
+    let cluster = bench_cluster_traced(1 << 18, mode);
+    let queue = cluster
+        .session(MachineId(0))
+        .create_queue::<u64>("perf/lat")
+        .expect("heap fits the queue");
+    let gate = Arc::new(Barrier::new(LAT_THREADS + 1));
+    let mut handles = Vec::with_capacity(LAT_THREADS);
+    for t in 0..LAT_THREADS {
+        let session = cluster.session(MachineId(t % 2));
+        let queue = queue.clone();
+        let gate = Arc::clone(&gate);
+        handles.push(std::thread::spawn(move || {
+            gate.wait();
+            for i in 0..pairs {
+                queue.enqueue(&session, i + 1).unwrap();
+                queue.dequeue(&session).unwrap();
+            }
+        }));
+    }
+    gate.wait();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let tracer = cluster.tracer().expect("latency cluster is traced");
+    let rows = [OpKind::Enqueue, OpKind::Dequeue]
+        .into_iter()
+        .map(|kind| {
+            let h = tracer.histogram(kind);
+            LatencyRow {
+                mode: mode.name(),
+                op: kind.name(),
+                samples: h.count(),
+                p50_sim_ns: h.p50(),
+                p99_sim_ns: h.p99(),
+                p999_sim_ns: h.p999(),
+            }
+        })
+        .collect();
+
+    // Crash the memory node under live durable state (the queue keeps
+    // residual elements: the workload leaves it empty, so re-add some)
+    // and time the full recovery pass.
+    let session = cluster.session(MachineId(0));
+    for i in 0..64 {
+        queue.enqueue(&session, i + 1).unwrap();
+    }
+    cluster.crash(MEM_NODE);
+    cluster.recover(MEM_NODE);
+    let session = cluster.session(MachineId(0));
+    let start = Instant::now();
+    session.recover_roots().expect("recovery succeeds");
+    let recovery_ms = start.elapsed().as_nanos() as f64 / 1e6;
+    let recovery = RecoveryRow {
+        mode: mode.name(),
+        recovery_ms,
+        phases: tracer.recovery_breakdown(),
+    };
+    (rows, recovery)
+}
+
 /// Extracts the `"primitive_8t_mops": <number>` summary from a previous
 /// run's JSON without a JSON parser (the format is our own).
 fn extract_8t_mops(json: &str) -> Option<f64> {
@@ -636,8 +769,8 @@ fn main() {
     };
 
     eprintln!(
-        "perf_baseline: label={} quick={} churn={} combined={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
-        opts.label, opts.quick, opts.churn, opts.combined
+        "perf_baseline: label={} quick={} churn={} combined={} latency={} (units={prim_units}, pairs={queue_pairs}, reps={reps})",
+        opts.label, opts.quick, opts.churn, opts.combined, opts.latency
     );
 
     // Best-of-`reps` per row: on a busy machine the max is the honest
@@ -778,6 +911,36 @@ fn main() {
         }
     }
 
+    // The latency sweep: per-mode tail percentiles from the tracer,
+    // then a crash + timed recovery pass per mode. Reuses the queue
+    // lineup (Buffered is excluded there for the same capacity reason).
+    let mut latency_rows = Vec::new();
+    let mut recovery_rows = Vec::new();
+    if opts.latency {
+        for &mode in &queue_modes {
+            let (rows, recovery) = latency_unit(mode, queue_pairs);
+            for r in &rows {
+                eprintln!(
+                    "  latency/{}/{}: n={} p50={} p99={} p999={} sim ns",
+                    r.mode, r.op, r.samples, r.p50_sim_ns, r.p99_sim_ns, r.p999_sim_ns
+                );
+            }
+            eprintln!(
+                "  recovery/{}: {:.3} ms ({})",
+                recovery.mode,
+                recovery.recovery_ms,
+                recovery
+                    .phases
+                    .iter()
+                    .map(|t| format!("{} {} sim ns", t.phase.name(), t.sim_ns))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            );
+            latency_rows.extend(rows);
+            recovery_rows.push(recovery);
+        }
+    }
+
     let prim_8t = primitive_rows
         .iter()
         .find(|r| r.threads == 8)
@@ -838,6 +1001,21 @@ fn main() {
     if !churn_rows.is_empty() {
         json.push_str(",\n  \"churn_sweep\": [\n");
         let rows: Vec<String> = churn_rows
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ]");
+    }
+    if !latency_rows.is_empty() {
+        json.push_str(",\n  \"latency_sweep\": [\n");
+        let rows: Vec<String> = latency_rows
+            .iter()
+            .map(|r| format!("    {}", r.to_json()))
+            .collect();
+        json.push_str(&rows.join(",\n"));
+        json.push_str("\n  ],\n  \"recovery_breakdown\": [\n");
+        let rows: Vec<String> = recovery_rows
             .iter()
             .map(|r| format!("    {}", r.to_json()))
             .collect();

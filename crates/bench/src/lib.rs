@@ -24,7 +24,7 @@ use std::sync::Arc;
 use cxl0_model::{MachineId, SystemConfig};
 use cxl0_runtime::alloc::Allocator;
 use cxl0_runtime::api::{Cluster, PersistMode};
-use cxl0_runtime::{Persistence, SharedHeap, SimFabric, SmrDomain, StatsSnapshot};
+use cxl0_runtime::{Persistence, SharedHeap, SimFabric, SmrDomain, StatsSnapshot, TraceConfig};
 use cxl0_workloads::{KeyDist, OpMix, Workload, WorkloadOp};
 
 /// The machine hosting benchmark data structures.
@@ -87,6 +87,18 @@ pub fn bench_cluster(cells: u32, mode: PersistMode) -> Arc<Cluster> {
     Cluster::builder(SystemConfig::symmetric_nvm(3, cells))
         .memory_node(MEM_NODE)
         .persist(mode)
+        .build()
+        .expect("benchmark cluster configuration is valid")
+}
+
+/// As [`bench_cluster`], but with the runtime tracer armed (no export
+/// path) — for the `--latency` sweep, which reads op percentiles and
+/// the recovery breakdown straight off the tracer.
+pub fn bench_cluster_traced(cells: u32, mode: PersistMode) -> Arc<Cluster> {
+    Cluster::builder(SystemConfig::symmetric_nvm(3, cells))
+        .memory_node(MEM_NODE)
+        .persist(mode)
+        .with_tracing(TraceConfig::default())
         .build()
         .expect("benchmark cluster configuration is valid")
 }

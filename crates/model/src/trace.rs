@@ -1,5 +1,13 @@
 //! Traces: finite sequences of visible labels, with pretty-printing in the
 //! paper's litmus-test notation and small construction helpers.
+//!
+//! **Naming note.** A [`Trace`] here is a *model-level execution*: the
+//! sequence of visible labels (loads, stores, flushes, crashes) a CXL0
+//! program emits, the object the operational semantics and litmus tests
+//! reason about. It is unrelated to `cxl0_runtime::trace`, the runtime's
+//! opt-in *observability* layer (op-latency spans, histograms, recovery
+//! telemetry, Chrome/JSONL export). When a label sequence is meant, it is
+//! this type; when profiling output is meant, it is the runtime tracer.
 
 use std::fmt;
 

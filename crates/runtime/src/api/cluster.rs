@@ -22,6 +22,7 @@ use crate::flit::{FlitCxl0, FlitOwnerOpt, FlitX86, NaiveMStore, NoPersistence, P
 use crate::flit_async::FlitAsync;
 use crate::heap::SharedHeap;
 use crate::smr::SmrDomain;
+use crate::trace::{TraceConfig, Tracer};
 
 /// Which durability strategy a [`Cluster`] wires its structures to —
 /// choosing one is a one-line configuration change instead of a type
@@ -121,6 +122,7 @@ pub struct ClusterBuilder {
     memory_node: Option<MachineId>,
     root_capacity: u32,
     checker: Option<CheckConfig>,
+    tracing: Option<TraceConfig>,
 }
 
 impl ClusterBuilder {
@@ -136,6 +138,7 @@ impl ClusterBuilder {
             memory_node: None,
             root_capacity: 32,
             checker: None,
+            tracing: None,
         }
     }
 
@@ -179,6 +182,18 @@ impl ClusterBuilder {
     /// deliberately unsound [`PersistMode::FlitX86`]).
     pub fn with_checker(mut self, cfg: CheckConfig) -> Self {
         self.checker = Some(cfg);
+        self
+    }
+
+    /// Arms the runtime tracer ([`crate::trace`]) with an explicit
+    /// configuration. Without this call, setting `CXL0_TRACE=<path>` in
+    /// the environment arms a default-configured tracer exporting to
+    /// `<path>` when the cluster drops (`CXL0_TRACE=1` arms it with no
+    /// export path — percentiles and breakdowns stay queryable
+    /// in-process). Untraced clusters pay nothing: the hooks are a
+    /// single `OnceLock` load.
+    pub fn with_tracing(mut self, cfg: TraceConfig) -> Self {
+        self.tracing = Some(cfg);
         self
     }
 
@@ -243,6 +258,25 @@ impl ClusterBuilder {
         let checker = check_cfg.map(|cfg| Arc::new(Checker::new(cfg)));
         if let Some(ck) = &checker {
             fabric.install_checker(Arc::clone(ck));
+        }
+        // Arm the tracer the same way: explicit `with_tracing` wins,
+        // otherwise `CXL0_TRACE=<path>` (or `=1` for no export) arms a
+        // default configuration.
+        let trace_cfg = self.tracing.or_else(|| {
+            std::env::var("CXL0_TRACE")
+                .ok()
+                .filter(|v| !v.is_empty() && v != "0")
+                .map(|v| TraceConfig {
+                    export_path: (v != "1").then_some(v),
+                    ..TraceConfig::default()
+                })
+        });
+        let tracer = trace_cfg.map(|cfg| Arc::new(Tracer::new(cfg)));
+        if let Some(tr) = &tracer {
+            fabric.install_tracer(Arc::clone(tr));
+            if let Some(ck) = &checker {
+                ck.install_trace_sink(Arc::clone(tr));
+            }
         }
         let heap = Arc::new(SharedHeap::with_range(
             fabric.config(),
@@ -321,6 +355,7 @@ impl ClusterBuilder {
             memory_node,
             directory,
             checker,
+            tracer,
             combine_stats: Arc::new(CombineStats::default()),
             combine_boards: Mutex::new(HashMap::new()),
         }))
@@ -349,6 +384,9 @@ pub struct Cluster {
     /// The persistency sanitizer, when armed (see
     /// [`ClusterBuilder::with_checker`]).
     checker: Option<Arc<Checker>>,
+    /// The runtime tracer, when armed (see
+    /// [`ClusterBuilder::with_tracing`]).
+    tracer: Option<Arc<Tracer>>,
     /// Cluster-wide combining counters (all fronts share one set).
     combine_stats: Arc<CombineStats>,
     /// Volatile announcement boards, keyed by structure root cell so
@@ -424,6 +462,28 @@ impl Cluster {
         self.checker.as_ref()
     }
 
+    /// The runtime tracer, when armed (via
+    /// [`ClusterBuilder::with_tracing`] or `CXL0_TRACE=<path>`). Query
+    /// it for latency histograms, recovery breakdowns and exports.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// Exports the trace to `path` now (`.jsonl` → JSONL, otherwise
+    /// Chrome trace-event JSON), independent of any configured
+    /// drop-time export path.
+    ///
+    /// # Errors
+    ///
+    /// [`ApiError::NoTracer`] when no tracer is armed;
+    /// [`ApiError::TraceExport`] on an I/O failure.
+    pub fn export_trace(&self, path: &str) -> ApiResult<()> {
+        let tracer = self.tracer.as_ref().ok_or(ApiError::NoTracer)?;
+        tracer
+            .write_to(path)
+            .map_err(|e| ApiError::TraceExport(e.to_string()))
+    }
+
     /// The configured durability mode.
     pub fn mode(&self) -> PersistMode {
         self.mode
@@ -476,6 +536,14 @@ impl Cluster {
             snap.check_unpersisted_reads = ck.unpersisted_reads();
             snap.check_use_after_retire = ck.use_after_retire();
         }
+        if let Some(tr) = &self.tracer {
+            snap.trace_events = tr.events_recorded();
+            snap.trace_dropped = tr.events_dropped();
+            let h = tr.merged_histogram();
+            snap.trace_p50_sim_ns = h.p50();
+            snap.trace_p99_sim_ns = h.p99();
+            snap.trace_p999_sim_ns = h.p999();
+        }
         snap
     }
 
@@ -516,6 +584,22 @@ impl Cluster {
 
     pub(crate) fn directory(&self) -> &RootDirectory {
         &self.directory
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        // The `CXL0_TRACE=<path>` contract: the trace lands on disk when
+        // the deployment winds down, without the program opting in at
+        // every exit path. Failures are reported, not propagated — drop
+        // cannot return and must not panic.
+        if let Some(tr) = &self.tracer {
+            if let Some(path) = tr.config().export_path.clone() {
+                if let Err(e) = tr.write_to(&path) {
+                    eprintln!("cxl0: trace export to {path} failed: {e}");
+                }
+            }
+        }
     }
 }
 

@@ -58,6 +58,13 @@ pub enum ApiError {
     },
     /// Every registry slot is taken.
     RegistryFull,
+    /// [`Cluster::export_trace`](crate::api::Cluster::export_trace) was
+    /// called but tracing was never armed (no
+    /// [`with_tracing`](crate::api::ClusterBuilder::with_tracing) and no
+    /// `CXL0_TRACE`).
+    NoTracer,
+    /// Writing the trace export file failed (I/O error text attached).
+    TraceExport(String),
 }
 
 impl fmt::Display for ApiError {
@@ -89,6 +96,11 @@ impl fmt::Display for ApiError {
                 write!(f, "root {name:?} was created with a different element type")
             }
             ApiError::RegistryFull => write!(f, "named-root registry is full"),
+            ApiError::NoTracer => write!(
+                f,
+                "tracing is not armed (use ClusterBuilder::with_tracing or CXL0_TRACE)"
+            ),
+            ApiError::TraceExport(e) => write!(f, "trace export failed: {e}"),
         }
     }
 }

@@ -20,6 +20,7 @@ use crate::ds::{
 use crate::flit::Persistence;
 use crate::heap::SharedHeap;
 use crate::smr::SmrDomain;
+use crate::trace::RecoveryPhase;
 
 /// A per-machine context over a [`Cluster`].
 ///
@@ -174,11 +175,25 @@ impl Session {
     ///
     /// Fails if this machine has crashed.
     pub fn recover_roots(&self) -> ApiResult<usize> {
-        if let Some(epoch) = self.cluster.buffered() {
-            epoch.recover(&self.node)?;
+        // Each phase is timed unconditionally (even when it has nothing
+        // to do) so the tracer's recovery breakdown always carries all
+        // four rows — a stable schema for dashboards and the bench.
+        self.node.trace_begin_recovery();
+        {
+            let _t = self.node.trace_phase(RecoveryPhase::BufferedReplay);
+            if let Some(epoch) = self.cluster.buffered() {
+                epoch.recover(&self.node)?;
+            }
         }
-        self.cluster.allocator().recover(&self.node)?;
-        self.cluster.smr().recover(&self.node)?;
+        {
+            let _t = self.node.trace_phase(RecoveryPhase::AllocatorSweep);
+            self.cluster.allocator().recover(&self.node)?;
+        }
+        {
+            let _t = self.node.trace_phase(RecoveryPhase::SmrDrain);
+            self.cluster.smr().recover(&self.node)?;
+        }
+        let _t = self.node.trace_phase(RecoveryPhase::RegistrySeal);
         Ok(self.cluster.directory().recover(&self.node)?)
     }
 

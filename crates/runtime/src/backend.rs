@@ -53,6 +53,12 @@
 //!   set is sharded by location, so asynchronous flushes from unrelated
 //!   threads stop serializing on one mutex and `Barrier` drains shard by
 //!   shard.
+//! * **Opt-in observability.** The persistency sanitizer
+//!   ([`crate::check`]) and the runtime tracer ([`crate::trace`]) hang
+//!   off the fabric as `OnceLock`s; uninstalled, each seam is a single
+//!   load and the hot path issues no extra atomic read-modify-write.
+//!   The tracer's per-op attribution rides the same rails: a span
+//!   samples its own thread's stripe on entry and exit.
 //!
 //! ## Crashes
 //!
@@ -247,6 +253,23 @@ pub struct Stats {
     rails: Box<[Rail]>,
 }
 
+/// A relaxed sample of the calling thread's own rail, used by the
+/// tracer ([`crate::trace`]) to attribute simulated time and
+/// flush/barrier counts to an op span. On an exclusive rail the sample
+/// is exact; on the shared overflow rail it is polluted by rail mates
+/// (the same accuracy trade the rails already make for counters).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RailProbe {
+    /// Cumulative simulated nanoseconds charged through this rail.
+    pub(crate) sim_ns: u64,
+    /// Cumulative synchronous flushes (`LFlush` + `RFlush`).
+    pub(crate) flushes: u64,
+    /// Cumulative asynchronous flush requests.
+    pub(crate) aflushes: u64,
+    /// Cumulative barriers.
+    pub(crate) barriers: u64,
+}
+
 impl Default for Stats {
     fn default() -> Self {
         Stats {
@@ -260,6 +283,19 @@ impl Default for Stats {
 impl Stats {
     fn rail(&self) -> &Rail {
         &self.rails[current_rail_index()]
+    }
+
+    /// Samples the calling thread's rail for the tracer (relaxed loads
+    /// of a line this thread owns — no stores, no RMWs).
+    pub(crate) fn rail_probe(&self) -> RailProbe {
+        let rail = self.rail();
+        RailProbe {
+            sim_ns: rail.sim_ns.load(Ordering::Relaxed),
+            flushes: rail.counts[OpClass::LFlushes as usize].load(Ordering::Relaxed)
+                + rail.counts[OpClass::RFlushes as usize].load(Ordering::Relaxed),
+            aflushes: rail.counts[OpClass::AFlushes as usize].load(Ordering::Relaxed),
+            barriers: rail.counts[OpClass::Barriers as usize].load(Ordering::Relaxed),
+        }
     }
 
     /// Spins until no operation is in flight on any rail. Callers must
@@ -412,6 +448,25 @@ pub struct StatsSnapshot {
     /// Persistency sanitizer: use-after-retire violations detected (see
     /// [`StatsSnapshot::check_durability_races`]).
     pub check_use_after_retire: u64,
+    /// Runtime tracer: events recorded so far. Zero in raw-fabric
+    /// snapshots and when no tracer is installed; populated by the
+    /// cluster layer. A *gauge* for [`StatsSnapshot::since`] purposes
+    /// (the running total is what you want to assert on), like the
+    /// sanitizer counters.
+    pub trace_events: u64,
+    /// Runtime tracer: events lost to ring wraps or the crash-retired
+    /// cap (see [`StatsSnapshot::trace_events`]).
+    pub trace_dropped: u64,
+    /// Runtime tracer gauge: p50 op latency in simulated nanoseconds,
+    /// merged over every thread and op kind (upper bucket edge of the
+    /// log2 histogram; see [`crate::trace::LatencyHistogram`]).
+    pub trace_p50_sim_ns: u64,
+    /// Runtime tracer gauge: p99 op latency (see
+    /// [`StatsSnapshot::trace_p50_sim_ns`]).
+    pub trace_p99_sim_ns: u64,
+    /// Runtime tracer gauge: p99.9 op latency (see
+    /// [`StatsSnapshot::trace_p50_sim_ns`]).
+    pub trace_p999_sim_ns: u64,
 }
 
 impl StatsSnapshot {
@@ -474,6 +529,11 @@ impl StatsSnapshot {
             check_durability_races: self.check_durability_races,
             check_unpersisted_reads: self.check_unpersisted_reads,
             check_use_after_retire: self.check_use_after_retire,
+            trace_events: self.trace_events,
+            trace_dropped: self.trace_dropped,
+            trace_p50_sim_ns: self.trace_p50_sim_ns,
+            trace_p99_sim_ns: self.trace_p99_sim_ns,
+            trace_p999_sim_ns: self.trace_p999_sim_ns,
         }
     }
 }
@@ -752,6 +812,11 @@ pub struct SimFabric {
     /// affected cell's writer lock held; the checker never touches
     /// cells, so the cell → checker lock order is acyclic.
     checker: OnceLock<Arc<crate::check::Checker>>,
+    /// The runtime tracer, when one is installed
+    /// ([`SimFabric::install_tracer`]). Like the checker, absent by
+    /// default: every seam is then a single `OnceLock` load and issues
+    /// no atomic read-modify-write.
+    tracer: OnceLock<Arc<crate::trace::Tracer>>,
 }
 
 impl SimFabric {
@@ -790,6 +855,7 @@ impl SimFabric {
             stats: Stats::default(),
             cost,
             checker: OnceLock::new(),
+            tracer: OnceLock::new(),
         })
     }
 
@@ -804,6 +870,20 @@ impl SimFabric {
     /// The installed persistency sanitizer, if any.
     pub fn checker(&self) -> Option<&Arc<crate::check::Checker>> {
         self.checker.get()
+    }
+
+    /// Installs the runtime tracer ([`crate::trace`]) on this fabric.
+    /// At most one tracer per fabric; later calls are ignored. Prefer
+    /// [`ClusterBuilder::with_tracing`](crate::api::ClusterBuilder::with_tracing),
+    /// which also wires the sanitizer's violation sink and the
+    /// snapshot-level percentile gauges.
+    pub fn install_tracer(&self, tracer: Arc<crate::trace::Tracer>) {
+        let _ = self.tracer.set(tracer);
+    }
+
+    /// The installed runtime tracer, if any.
+    pub fn tracer(&self) -> Option<&Arc<crate::trace::Tracer>> {
+        self.tracer.get()
     }
 
     /// The system configuration.
@@ -896,6 +976,13 @@ impl SimFabric {
             // The world is stopped: the shadow sees the same atomic
             // transition the fabric just performed.
             ck.on_crash(crashed_bits, zeroed_bits, self.variant == ModelVariant::Psn);
+        }
+        if let Some(tr) = self.tracer.get() {
+            // Seal the incarnation while the world is still stopped:
+            // every buffered event drains to the retired set, so
+            // crashed-incarnation spans cannot interleave with
+            // post-recovery ones.
+            tr.on_crash();
         }
         self.crash_word.halted.store(0, Ordering::SeqCst);
     }
@@ -1122,12 +1209,51 @@ impl NodeHandle {
         }
     }
 
-    /// Sanitizer seam for the [`Persistence`](crate::Persistence)
+    /// Sanitizer + tracer seam for the [`Persistence`](crate::Persistence)
     /// strategies: the strategy just acknowledged its store/RMW on `loc`
-    /// as durable. No-op without a checker.
+    /// as durable. No-op without a checker or tracer.
     pub(crate) fn ack_persist(&self, loc: Loc) {
         if let Some(ck) = self.fabric.checker.get() {
             ck.on_ack(self.machine, loc);
+        }
+        if let Some(tr) = self.fabric.tracer.get() {
+            tr.on_persist_ack();
+        }
+    }
+
+    /// Tracer seam for the structure layer: opens an op span on the
+    /// calling thread, or `None` when no tracer is installed (a single
+    /// `OnceLock` load — the untraced hot path stays RMW-free).
+    pub(crate) fn trace_span(
+        &self,
+        kind: crate::trace::OpKind,
+    ) -> Option<crate::trace::SpanGuard<'_>> {
+        self.fabric
+            .tracer
+            .get()
+            .map(|tr| tr.span(kind, &self.fabric.stats, Some(self.machine)))
+    }
+
+    /// Tracer seam for recovery: opens a recovery-phase span (fabric-wide
+    /// simulated time), or `None` when no tracer is installed. The first
+    /// phase of a recovery pass should be preceded by
+    /// [`Tracer::begin_recovery`] via [`NodeHandle::trace_begin_recovery`].
+    pub(crate) fn trace_phase(
+        &self,
+        phase: crate::trace::RecoveryPhase,
+    ) -> Option<crate::trace::PhaseGuard<'_>> {
+        self.fabric
+            .tracer
+            .get()
+            .map(|tr| tr.phase(phase, &self.fabric.stats, Some(self.machine)))
+    }
+
+    /// Resets the tracer's recovery breakdown at the top of a recovery
+    /// pass, so [`Tracer::recovery_breakdown`] describes the latest pass
+    /// only. No-op when no tracer is installed.
+    pub(crate) fn trace_begin_recovery(&self) {
+        if let Some(tr) = self.fabric.tracer.get() {
+            tr.begin_recovery();
         }
     }
 

@@ -75,6 +75,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::Mutex;
 
@@ -243,6 +244,9 @@ pub struct Checker {
     unpersisted: AtomicU64,
     uar: AtomicU64,
     reports: Mutex<Vec<Violation>>,
+    /// The runtime tracer, when one is co-installed: every report also
+    /// lands in the trace as an instant event with provenance.
+    trace: OnceLock<Arc<crate::trace::Tracer>>,
 }
 
 impl fmt::Debug for Checker {
@@ -269,7 +273,16 @@ impl Checker {
             unpersisted: AtomicU64::new(0),
             uar: AtomicU64::new(0),
             reports: Mutex::new(Vec::new()),
+            trace: OnceLock::new(),
         }
+    }
+
+    /// Mirrors every future violation into `tracer` as an instant trace
+    /// event with machine/thread provenance. At most one sink; later
+    /// calls are ignored. The cluster layer wires this automatically
+    /// when both a checker and a tracer are installed.
+    pub fn install_trace_sink(&self, tracer: Arc<crate::trace::Tracer>) {
+        let _ = self.trace.set(tracer);
     }
 
     /// The active configuration.
@@ -358,6 +371,14 @@ impl Checker {
             reports.push(v.clone());
         }
         drop(reports);
+        if let Some(tr) = self.trace.get() {
+            let name = match class {
+                ViolationClass::DurabilityRace => "durability-race",
+                ViolationClass::UnpersistedReadAtRecovery => "unpersisted-read-at-recovery",
+                ViolationClass::UseAfterRetire => "use-after-retire",
+            };
+            tr.violation(name, loc, who, &v.detail);
+        }
         if self.cfg.fail_fast {
             panic!("persistency sanitizer: {v}");
         }

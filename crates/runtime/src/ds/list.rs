@@ -243,6 +243,7 @@ impl<K: Word> DurableList<K> {
     /// Fails if the issuing machine has crashed.
     pub fn insert(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Insert);
         let key = key.to_word();
         assert!(
             key != 0 && key & (MARK | (MARK >> 1)) == 0,
@@ -329,6 +330,7 @@ impl<K: Word> DurableList<K> {
     /// Fails if the issuing machine has crashed.
     pub fn remove(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Remove);
         let key = key.to_word();
         let guard = self.smr.pin();
         loop {
@@ -405,6 +407,7 @@ impl<K: Word> DurableList<K> {
     /// Fails if the issuing machine has crashed.
     pub fn contains(&self, at: &impl AsNode, key: K) -> OpResult<bool> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Get);
         let key = key.to_word();
         let guard = self.smr.pin();
         let (_, _, _, found) = self.search(&guard, node, key)?;

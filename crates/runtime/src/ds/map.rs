@@ -252,6 +252,7 @@ impl<K: Word, V: Word> DurableMap<K, V> {
     /// Fails if the issuing machine has crashed.
     pub fn insert(&self, at: &impl AsNode, key: K, value: V) -> OpResult<Option<Option<V>>> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Insert);
         let key = key.to_word();
         let value = value.to_word();
         assert_ne!(key, EMPTY_KEY, "key 0 is reserved");
@@ -292,6 +293,7 @@ impl<K: Word, V: Word> DurableMap<K, V> {
     /// Fails if the issuing machine has crashed.
     pub fn get(&self, at: &impl AsNode, key: K) -> OpResult<Option<V>> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Get);
         let key = key.to_word();
         let _guard = self.smr.pin();
         let base = self.table(node)?;
@@ -319,6 +321,7 @@ impl<K: Word, V: Word> DurableMap<K, V> {
     /// Fails if the issuing machine has crashed.
     pub fn remove(&self, at: &impl AsNode, key: K) -> OpResult<Option<V>> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Remove);
         let key = key.to_word();
         let _mutating = self.sync.read();
         let _guard = self.smr.pin();

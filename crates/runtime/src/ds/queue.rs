@@ -137,6 +137,7 @@ impl<T: Word> DurableQueue<T> {
     /// Fails if the issuing machine has crashed.
     pub fn enqueue(&self, at: &impl AsNode, v: T) -> OpResult<bool> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Enqueue);
         let raw = v.to_word();
         let Some(n) = self.alloc.alloc(node, 2)? else {
             return Ok(false);
@@ -198,6 +199,7 @@ impl<T: Word> DurableQueue<T> {
     /// Fails if the issuing machine has crashed.
     pub fn dequeue(&self, at: &impl AsNode) -> OpResult<Option<T>> {
         let node = at.as_node();
+        let _span = node.trace_span(crate::trace::OpKind::Dequeue);
         loop {
             let head = self.persist.shared_load(node, self.head_cell(), true)?;
             let tail = self.persist.shared_load(node, self.tail_cell(), true)?;

@@ -88,6 +88,16 @@ impl FlitTable {
 /// The `pflag` argument mirrors the paper's persistence flag: `false`
 /// means the access needs no durability (it is compiled to the bare
 /// primitive).
+///
+/// **Ack discipline.** A strategy must call `NodeHandle::ack_persist`
+/// at the exact point a flagged store/RMW becomes durable (after the
+/// `RFlush` here, after the trailing `Barrier` in
+/// [`FlitAsync`](crate::flit_async::FlitAsync)): the persistency
+/// sanitizer ([`crate::check`]) treats the ack as the durability claim
+/// it audits, and the tracer ([`crate::trace`]) counts acks into each
+/// op span's persist amplification. Strategies that make no per-store
+/// durability claim (`NoPersistence`, the buffered relaxation) simply
+/// never ack.
 pub trait Persistence: Send + Sync + fmt::Debug {
     /// Short name for reports.
     fn name(&self) -> &'static str;

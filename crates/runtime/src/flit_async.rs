@@ -115,6 +115,10 @@ impl Persistence for FlitAsync {
             // Alg. 1 line 23: the store is persistent before we return, so
             // per-thread persistence stays prefix-ordered.
             node.barrier()?;
+            // The trailing barrier is this strategy's durability point:
+            // acknowledge it to the sanitizer/tracer seam, as the
+            // synchronous strategies do after their RFlush.
+            node.ack_persist(loc);
             Ok(())
         });
         // On a crash the counter stays raised: a leaked positive counter
@@ -134,6 +138,7 @@ impl Persistence for FlitAsync {
         if pflag {
             node.aflush(loc)?;
             node.barrier()?;
+            node.ack_persist(loc);
         }
         Ok(())
     }
@@ -156,6 +161,7 @@ impl Persistence for FlitAsync {
             // p-load and helps persist the observed one (condition 3).
             node.aflush(loc)?;
             node.barrier()?;
+            node.ack_persist(loc);
             Ok(r)
         });
         if result.is_ok() {
@@ -173,6 +179,7 @@ impl Persistence for FlitAsync {
         let result = node.faa(StoreKind::Local, loc, delta).and_then(|old| {
             node.aflush(loc)?;
             node.barrier()?;
+            node.ack_persist(loc);
             Ok(old)
         });
         if result.is_ok() {

@@ -42,6 +42,10 @@
 //!   analysis under the [`Persistence`] strategies that detects
 //!   durability races, unpersisted reads at recovery and use-after-retire
 //!   with thread/op provenance (`docs/SANITIZER.md`).
+//! * [`trace`] — the **runtime tracer**: opt-in per-thread op spans with
+//!   wall/simulated time and persist amplification, log2 latency
+//!   histograms (p50/p99/p999), recovery-phase timing and Chrome
+//!   trace-event / JSONL exporters (`docs/OBSERVABILITY.md`).
 //! * [`heap`] — the raw bump tail the allocator builds on.
 //! * [`cost`] — simulated per-primitive latencies (Figure-5 shaped).
 //!
@@ -90,6 +94,7 @@ pub mod flit_async;
 pub mod heap;
 pub mod smr;
 pub mod snapshot;
+pub mod trace;
 
 pub use alloc::{AllocStats, Allocator, BlockRef, FreeError};
 pub use api::{ApiError, ApiResult, Cluster, ClusterBuilder, PersistMode, Session, Word};
@@ -109,3 +114,6 @@ pub use flit_async::FlitAsync;
 pub use heap::{decode_ptr, encode_ptr, SharedHeap, NULL_PTR};
 pub use smr::{SmrDomain, SmrGuard, SmrStats};
 pub use snapshot::{take_gpf_snapshot, MemorySnapshot};
+pub use trace::{
+    LatencyHistogram, OpKind, PhaseTiming, RecoveryPhase, TraceConfig, TraceEvent, Tracer,
+};

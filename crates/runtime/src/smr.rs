@@ -412,6 +412,7 @@ impl SmrDomain {
     /// Fails if the issuing machine has crashed; blocks not yet freed
     /// stay in limbo for [`SmrDomain::recover`].
     pub fn collect(&self, at: &impl AsNode) -> OpResult<usize> {
+        let _span = at.as_node().trace_span(crate::trace::OpKind::SmrCollect);
         self.collect_inner(at.as_node())
     }
 

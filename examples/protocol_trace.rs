@@ -4,6 +4,11 @@
 //! and the Figure-5 latency sweep.
 //!
 //! Run with: `cargo run --example protocol_trace`
+//!
+//! "Trace" here means the protocol analyzer's transaction log (and, in
+//! the model crate, a sequence of visible labels) — not the runtime's
+//! `cxl0::trace` observability layer; see `examples/trace_export.rs`
+//! for that one.
 
 use cxl0::fabric::{run_figure5, LatencyConfig};
 use cxl0::protocol::{

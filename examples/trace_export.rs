@@ -1,0 +1,112 @@
+//! The runtime tracer end to end: arm `cxl0::trace`, run a mixed durable
+//! workload across threads, crash and recover the memory node, then read
+//! back latency percentiles, per-op persist amplification, the recovery
+//! phase breakdown — and export the whole thing as a Chrome trace-event
+//! file loadable in Perfetto / `chrome://tracing`.
+//!
+//! Run with: `cargo run --example trace_export`
+//!
+//! By default the trace lands in `trace_export.json`. Setting
+//! `CXL0_TRACE=<path>` overrides that (the cluster builder arms the
+//! tracer from the environment, exactly like `CXL0_SANITIZE`); the CI
+//! trace-smoke job runs this example that way and validates the JSON.
+
+use cxl0::api::Cluster;
+use cxl0::model::{MachineId, SystemConfig};
+use cxl0::trace::{OpKind, TraceConfig};
+
+fn main() {
+    // Explicit arming loses to `CXL0_TRACE` on purpose: the builder
+    // prefers `with_tracing`, so only pass one when the env is silent.
+    let mut builder = Cluster::builder(SystemConfig::symmetric_nvm(3, 1 << 16));
+    let env_armed = std::env::var("CXL0_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if !env_armed {
+        builder = builder.with_tracing(TraceConfig::to_path("trace_export.json"));
+    }
+    let cluster = builder.build().unwrap();
+    let mem_node = cluster.memory_node();
+
+    // A mixed workload so every op-kind histogram has samples.
+    let s0 = cluster.session(MachineId(0));
+    let queue = s0.create_queue::<u64>("jobs").unwrap();
+    let stack = s0.create_stack::<u64>("undo").unwrap();
+    let map = s0.create_map::<u64, u64>("index", 256).unwrap();
+
+    let mut workers = Vec::new();
+    for t in 0..4u64 {
+        let session = cluster.session(MachineId((t % 2) as usize));
+        let queue = queue.clone();
+        let stack = stack.clone();
+        let map = map.clone();
+        workers.push(std::thread::spawn(move || {
+            for i in 0..200u64 {
+                let v = t * 1_000 + i + 1; // map key 0 is reserved
+                queue.enqueue(&session, v).unwrap();
+                stack.push(&session, v).unwrap();
+                map.insert(&session, v, v * 2).unwrap();
+                if i % 4 == 3 {
+                    queue.dequeue(&session).unwrap();
+                    stack.pop(&session).unwrap();
+                    map.get(&session, v).unwrap();
+                }
+            }
+        }));
+    }
+    for w in workers {
+        w.join().unwrap();
+    }
+
+    // Crash the memory node (all caches lost), recover it, and run the
+    // timed recovery pass — the tracer clocks each phase.
+    println!("crashing memory node {mem_node} and recovering ...");
+    cluster.crash(mem_node);
+    cluster.recover(mem_node);
+    let session = cluster.session(MachineId(0));
+    let sealed = session.recover_roots().unwrap();
+    println!("recovery sealed {sealed} pending registry entries\n");
+
+    let tracer = cluster.tracer().expect("tracing is armed");
+
+    println!("== op latency (simulated ns, log2-bucketed) ==");
+    for kind in OpKind::ALL {
+        let h = tracer.histogram(kind);
+        if h.count() == 0 {
+            continue;
+        }
+        println!(
+            "{:>13}: n={:<5} p50={:<6} p99={:<6} p999={}",
+            kind.name(),
+            h.count(),
+            h.p50(),
+            h.p99(),
+            h.p999()
+        );
+    }
+
+    println!("\n== recovery breakdown ==");
+    for t in tracer.recovery_breakdown() {
+        println!(
+            "{:>15}: {:>7} sim ns  ({} wall ns)",
+            t.phase.name(),
+            t.sim_ns,
+            t.wall_ns
+        );
+    }
+
+    println!(
+        "\n{} events recorded ({} dropped), incarnation {}",
+        tracer.events_recorded(),
+        tracer.events_dropped(),
+        tracer.incarnation()
+    );
+    let path = tracer
+        .config()
+        .export_path
+        .clone()
+        .unwrap_or_else(|| "trace_export.json".into());
+    println!("exporting Chrome trace to {path} (open in Perfetto) ...");
+    // The cluster also exports on drop when an export path is
+    // configured; doing it explicitly keeps the example's output
+    // ordering deterministic.
+    cluster.export_trace(&path).unwrap();
+}
